@@ -1,0 +1,124 @@
+(* Benchmark harness.
+
+   With no arguments: regenerate every table and figure of the paper
+   (the full experiment suite, including the complete 705,432-trial
+   subset enumeration), then time each experiment driver with Bechamel
+   (one Test.make per table/figure, running against warm caches).
+
+   With arguments: run only the named experiments, e.g.
+     dune exec bench/main.exe table2 graph4
+   Special arguments: "all" (default), "quick" (cap the subset
+   experiment), "timings" (only the Bechamel section). *)
+
+let null_formatter =
+  Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+(* One Bechamel test per experiment driver.  The first full run above
+   warms every cache (compiled programs, profiles, miss matrices,
+   trace histograms), so these measure the analysis itself rather than
+   simulation. *)
+let bechamel_tests () =
+  let open Bechamel in
+  let drv id =
+    match Experiments.Driver.find id with
+    | Some e -> e.run
+    | None -> assert false
+  in
+  let t name fn = Test.make ~name (Staged.stage fn) in
+  [
+    t "table1" (fun () -> drv "table1" null_formatter);
+    t "table2" (fun () -> drv "table2" null_formatter);
+    t "table3" (fun () -> drv "table3" null_formatter);
+    t "graph1" (fun () -> Experiments.Orderings.graph1 null_formatter);
+    t "graph2+3/table4(2k trials)" (fun () ->
+        Experiments.Orderings.graph2_3_table4 ~max_trials:2_000 null_formatter);
+    t "table5" (fun () -> drv "table5" null_formatter);
+    t "table6" (fun () -> drv "table6" null_formatter);
+    t "table7" (fun () -> drv "table7" null_formatter);
+    t "graph4(spice2g6)" (fun () ->
+        Experiments.Traces.graph_for null_formatter "spice2g6");
+    t "graph6(gcc)" (fun () -> Experiments.Traces.graph_for null_formatter "gcc");
+    t "graph7(lcc)" (fun () -> Experiments.Traces.graph_for null_formatter "lcc");
+    t "graph8(qpt)" (fun () -> Experiments.Traces.graph_for null_formatter "qpt");
+    t "graph9(xlisp)" (fun () ->
+        Experiments.Traces.graph_for null_formatter "xlisp");
+    t "graph10(doduc)" (fun () ->
+        Experiments.Traces.graph_for null_formatter "doduc");
+    t "graph11(fpppp)" (fun () ->
+        Experiments.Traces.graph_for null_formatter "fpppp");
+    t "graph12" (fun () -> drv "graph12" null_formatter);
+    t "graph13" (fun () -> drv "graph13" null_formatter);
+    (* component micro-benchmarks *)
+    t "compile(gcc workload)" (fun () ->
+        ignore
+          (Minic.Frontend.compile (Workloads.Registry.find "gcc").source));
+    t "cfg-analysis(gcc)" (fun () ->
+        let r = Experiments.Bench_run.load (Workloads.Registry.find "gcc") in
+        ignore (Cfg.Analysis.of_program r.prog));
+    t "heuristics(gcc)" (fun () ->
+        let r = Experiments.Bench_run.load (Workloads.Registry.find "gcc") in
+        ignore
+          (Predict.Database.make r.prog r.analyses ~taken:r.profile.taken
+             ~fall:r.profile.fall));
+    t "simulate(xlisp ref)" (fun () ->
+        let wl = Workloads.Registry.find "xlisp" in
+        ignore
+          (Sim.Machine.run
+             (Workloads.Workload.compile wl)
+             (Workloads.Workload.primary_dataset wl)));
+  ]
+
+let run_timings () =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~stabilize:false ()
+  in
+  Printf.printf "==== Bechamel timings (per run, monotonic clock) ====\n%!";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+            if est > 1e9 then Printf.printf "%-28s %8.2f s\n%!" name (est /. 1e9)
+            else if est > 1e6 then
+              Printf.printf "%-28s %8.2f ms\n%!" name (est /. 1e6)
+            else Printf.printf "%-28s %8.2f us\n%!" name (est /. 1e3)
+          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+        ols)
+    (bechamel_tests ())
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let ppf = Format.std_formatter in
+  match args with
+  | [] | [ "all" ] ->
+    Experiments.Driver.run_all ppf;
+    run_timings ()
+  | [ "quick" ] ->
+    Experiments.Driver.run_all ~quick:true ppf;
+    run_timings ()
+  | [ "timings" ] ->
+    (* warm the caches first *)
+    Experiments.Driver.run_all ~quick:true null_formatter;
+    run_timings ()
+  | ids ->
+    List.iter
+      (fun id ->
+        match Experiments.Driver.find id with
+        | Some e ->
+          Format.fprintf ppf "==== %s ====@.@." e.title;
+          e.run ppf;
+          Format.fprintf ppf "@."
+        | None ->
+          Printf.eprintf "unknown experiment %s\n" id;
+          exit 1)
+      ids

@@ -1,0 +1,281 @@
+(* bpredict: command-line front end to the Ball-Larus program-based
+   branch predictor.
+
+   Subcommands:
+     compile    compile a MiniC file and print the disassembly
+     cfg        print a procedure's CFG (text or dot)
+     predict    annotate every branch with class, heuristics, prediction
+     profile    run a program and report per-predictor miss rates
+     trace      run the IPBC trace analysis
+     experiment run one of the paper's tables/figures (or "all")
+     list       list workloads and experiments *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* A program source: either a MiniC file or a named built-in workload
+   with its primary dataset. *)
+let load_program src =
+  match Workloads.Registry.find src with
+  | wl -> (Workloads.Workload.compile wl, Workloads.Workload.primary_dataset wl)
+  | exception Not_found ->
+    if Sys.file_exists src then
+      (Minic.Frontend.compile (read_file src), Sim.Dataset.make ~name:"empty" [||])
+    else
+      failwith
+        (Printf.sprintf "%s: not a workload name and not a file" src)
+
+let src_arg =
+  let doc = "A MiniC source file, or the name of a built-in workload." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SOURCE" ~doc)
+
+let handle_errors f =
+  try f () with
+  | Minic.Frontend.Error msg | Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | Sim.Machine.Fault msg ->
+    Printf.eprintf "runtime fault: %s\n" msg;
+    exit 2
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let run src =
+    handle_errors (fun () ->
+        let prog, _ = load_program src in
+        Format.printf "%a" Mips.Program.pp prog)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile MiniC and print the disassembly")
+    Term.(const run $ src_arg)
+
+(* ---- cfg ---- *)
+
+let cfg_cmd =
+  let proc_arg =
+    Arg.(value & opt (some string) None & info [ "p"; "proc" ] ~docv:"PROC"
+           ~doc:"Procedure to dump (default: all).")
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz dot format.")
+  in
+  let run src proc dot =
+    handle_errors (fun () ->
+        let prog, _ = load_program src in
+        let dump (p : Mips.Program.proc) =
+          let g = Cfg.Graph.build p in
+          if dot then Format.printf "%a" Cfg.Graph.to_dot g
+          else begin
+            Format.printf "%s:@." p.name;
+            Format.printf "%a@." Cfg.Graph.pp g
+          end
+        in
+        match proc with
+        | Some name -> dump (Mips.Program.find_proc prog name)
+        | None -> Array.iter dump prog.procs)
+  in
+  Cmd.v
+    (Cmd.info "cfg" ~doc:"Print control-flow graphs")
+    Term.(const run $ src_arg $ proc_arg $ dot_arg)
+
+(* ---- predict ---- *)
+
+let predict_cmd =
+  let run src =
+    handle_errors (fun () ->
+        let prog, ds = load_program src in
+        let analyses = Cfg.Analysis.of_program prog in
+        let profile = Sim.Profile.run prog ds in
+        let db =
+          Predict.Database.make prog analyses ~taken:profile.taken
+            ~fall:profile.fall
+        in
+        let order = Predict.Combined.paper_order in
+        Format.printf
+          "branch predictions (order: %s; T = predict taken)@.@."
+          (String.concat " " (List.map Predict.Heuristic.name order));
+        Array.iter
+          (fun (br : Predict.Database.branch) ->
+            let dir, source = Predict.Combined.predict_non_loop order br in
+            let where =
+              Format.asprintf "%s+%d" prog.procs.(br.proc).name br.pc
+            in
+            let insn =
+              Mips.Insn.to_string prog.procs.(br.proc).body.(br.pc)
+            in
+            match br.cls with
+            | Predict.Classify.Loop_branch ->
+              Format.printf "%-18s %-24s loop      %s  (loop predictor)@."
+                where insn
+                (if br.loop_pred then "T" else "F")
+            | Predict.Classify.Non_loop_branch ->
+              let why =
+                match source with
+                | Predict.Combined.By h -> Predict.Heuristic.name h
+                | Predict.Combined.Default -> "Default"
+              in
+              Format.printf "%-18s %-24s non-loop  %s  (%s)@." where insn
+                (if dir then "T" else "F")
+                why)
+          db.branches)
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:"Annotate every conditional branch with its static prediction")
+    Term.(const run $ src_arg)
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let run src =
+    handle_errors (fun () ->
+        let prog, ds = load_program src in
+        let analyses = Cfg.Analysis.of_program prog in
+        let profile = Sim.Profile.run prog ds in
+        let db =
+          Predict.Database.make prog analyses ~taken:profile.taken
+            ~fall:profile.fall
+        in
+        let branches = Array.to_list db.branches in
+        let order = Predict.Combined.paper_order in
+        let open Predict in
+        Format.printf "instructions executed : %d@." profile.stats.instr_count;
+        Format.printf "dynamic branches      : %d@."
+          (Metrics.total_exec branches);
+        Format.printf "output checksum       : %d@.@." profile.stats.checksum;
+        let report name rate =
+          Format.printf "%-22s: %s%% miss@." name (Experiments.Texttab.pct1 rate)
+        in
+        report "perfect (this dataset)" (Metrics.perfect_rate branches);
+        report "heuristic (Ball-Larus)"
+          (Metrics.miss_rate (Combined.predict order) branches);
+        report "loop + random" (Metrics.miss_rate Combined.loop_rand_predict branches);
+        report "BTFN"
+          (Metrics.miss_rate (fun b -> b.Database.backward) branches);
+        report "always taken" (Metrics.miss_rate (fun _ -> true) branches))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a program and compare static predictors against its profile")
+    Term.(const run $ src_arg)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let run src =
+    handle_errors (fun () ->
+        match Workloads.Registry.find src with
+        | exception Not_found ->
+          failwith "trace analysis requires a built-in workload name"
+        | wl ->
+          let r = Experiments.Bench_run.load wl in
+          ignore r;
+          Experiments.Traces.graph_for Format.std_formatter src)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Instructions-per-break-in-control analysis")
+    Term.(const run $ src_arg)
+
+(* ---- layout ---- *)
+
+let layout_cmd =
+  let run src =
+    handle_errors (fun () ->
+        let prog, ds = load_program src in
+        let analyses = Cfg.Analysis.of_program prog in
+        let profile = Sim.Profile.run prog ds in
+        let db =
+          Predict.Database.make prog analyses ~taken:profile.taken
+            ~fall:profile.fall
+        in
+        let order = Predict.Combined.paper_order in
+        let predictions = Hashtbl.create 512 in
+        Array.iter
+          (fun (br : Predict.Database.branch) ->
+            Hashtbl.replace predictions (br.proc, br.block)
+              (Predict.Combined.predict order br))
+          db.branches;
+        let laid =
+          Predict.Layout.apply prog ~predict:(fun ~proc ~block ->
+              match Hashtbl.find_opt predictions (proc, block) with
+              | Some dir -> dir
+              | None -> false)
+        in
+        let t0, e0, s0 = Predict.Layout.taken_transfers prog ds in
+        let t1, e1, s1 = Predict.Layout.taken_transfers laid ds in
+        if s0.checksum <> s1.checksum then
+          failwith "layout changed program behaviour";
+        ignore e1;
+        Format.printf
+          "laid out %d procedures along predicted traces@."
+          (Array.length prog.procs);
+        Format.printf "taken conditional branches: %d -> %d (of %d executed)@."
+          t0 t1 e0;
+        Format.printf "instructions executed: %d -> %d (checksum unchanged)@."
+          s0.instr_count s1.instr_count)
+  in
+  Cmd.v
+    (Cmd.info "layout"
+       ~doc:"Re-linearise code along predicted traces and measure the effect")
+    Term.(const run $ src_arg)
+
+(* ---- experiment ---- *)
+
+let experiment_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
+           ~doc:"Experiment id (table1..table7, graph1..graph13, \
+                 ablation-*, loopshapes) or 'all'.")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"Cap the subset experiment at 20,000 trials.")
+  in
+  let run id quick =
+    handle_errors (fun () ->
+        if String.equal id "all" then
+          Experiments.Driver.run_all ~quick Format.std_formatter
+        else
+          match Experiments.Driver.find id with
+          | Some e -> e.run Format.std_formatter
+          | None ->
+            failwith
+              (Printf.sprintf "unknown experiment %s (try 'list')" id))
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures")
+    Term.(const run $ id_arg $ quick_arg)
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    Format.printf "workloads:@.";
+    List.iter
+      (fun (w : Workloads.Workload.t) ->
+        Format.printf "  %-10s %s@." w.name w.description)
+      Workloads.Registry.all;
+    Format.printf "@.experiments:@.";
+    List.iter
+      (fun (e : Experiments.Driver.experiment) ->
+        Format.printf "  %-16s %s@." e.id e.title)
+      Experiments.Driver.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List built-in workloads and experiments")
+    Term.(const run $ const ())
+
+let main_cmd =
+  let doc = "program-based branch prediction (Ball & Larus, PLDI 1993)" in
+  Cmd.group (Cmd.info "bpredict" ~version:"1.0.0" ~doc)
+    [ compile_cmd; cfg_cmd; predict_cmd; profile_cmd; trace_cmd; layout_cmd;
+      experiment_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

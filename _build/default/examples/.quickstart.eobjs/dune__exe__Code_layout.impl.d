@@ -1,0 +1,1 @@
+examples/code_layout.ml: Array Experiments Hashtbl List Predict Printf Sys Workloads

@@ -1,0 +1,1 @@
+examples/hot_paths.ml: Array Cfg Experiments Hashtbl List Predict Printf Sys Workloads

@@ -1,0 +1,1 @@
+examples/hot_paths.mli:

@@ -1,0 +1,1 @@
+examples/ordering_search.ml: Array Experiments Fun List Predict Printf String Sys

@@ -1,0 +1,1 @@
+examples/pipeline_cost.ml: Array Experiments List Predict Printf Sys Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cfg Format Minic Mips Predict Printf Sim

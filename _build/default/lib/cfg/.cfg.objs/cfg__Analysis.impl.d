@@ -1,0 +1,1 @@
+lib/cfg/analysis.ml: Array Dom Graph Loops Mips

@@ -1,0 +1,1 @@
+lib/cfg/analysis.mli: Dom Graph Loops Mips

@@ -1,0 +1,1 @@
+lib/cfg/graph.ml: Array Format List Mips Printf String

@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Array Bytes Char Dom Graph List

@@ -1,0 +1,18 @@
+type t = {
+  graph : Graph.t;
+  dom : Dom.t;
+  pdom : Dom.t;
+  loops : Loops.t;
+}
+
+let of_proc proc =
+  let graph = Graph.build proc in
+  let dom = Dom.of_graph graph in
+  let pdom = Dom.post_of_graph graph in
+  let loops = Loops.of_graph graph dom in
+  { graph; dom; pdom; loops }
+
+let of_program (p : Mips.Program.t) = Array.map of_proc p.procs
+
+let postdominates t s b = Dom.dominates t.pdom s b
+let dominates t v w = Dom.dominates t.dom v w

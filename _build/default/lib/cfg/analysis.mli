@@ -1,0 +1,21 @@
+(** Bundled per-procedure control-flow analyses.
+
+    One-stop shop for everything the predictors consult: the CFG,
+    dominators, postdominators, and natural loops of a procedure. *)
+
+type t = {
+  graph : Graph.t;
+  dom : Dom.t;
+  pdom : Dom.t;
+  loops : Loops.t;
+}
+
+val of_proc : Mips.Program.proc -> t
+
+val of_program : Mips.Program.t -> t array
+(** Analysis of every procedure, indexed like [Program.procs]. *)
+
+val postdominates : t -> int -> int -> bool
+(** [postdominates t s b]: block [s] postdominates block [b]. *)
+
+val dominates : t -> int -> int -> bool

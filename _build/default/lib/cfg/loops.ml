@@ -1,0 +1,94 @@
+type t = {
+  graph : Graph.t;
+  dom : Dom.t;
+  heads : int list;
+  (* membership.(h) = Some bitset of blocks in nat-loop(h); None if h
+     is not a loop head. *)
+  membership : Bytes.t option array;
+  depth : int array;
+  preheader : bool array;
+}
+
+let bit_get b i = Char.code (Bytes.get b (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let bit_set b i =
+  Bytes.set b (i / 8)
+    (Char.chr (Char.code (Bytes.get b (i / 8)) lor (1 lsl (i mod 8))))
+
+(* nat-loop(y): start from the sources of backedges into y and walk
+   predecessors without passing through y. *)
+let natural_loop (g : Graph.t) dom head =
+  let n = g.nblocks in
+  let set = Bytes.make ((n + 7) / 8) '\000' in
+  bit_set set head;
+  let rec push v =
+    if not (bit_get set v) then begin
+      bit_set set v;
+      List.iter (fun (e : Graph.edge) -> push e.src) g.preds.(v)
+    end
+  in
+  List.iter
+    (fun (e : Graph.edge) ->
+      if e.dst = head && Dom.dominates dom head e.src then push e.src)
+    g.preds.(head);
+  set
+
+let of_graph (g : Graph.t) dom =
+  let n = g.nblocks in
+  let is_head = Array.make n false in
+  Graph.iter_edges
+    (fun e -> if Dom.dominates dom e.dst e.src then is_head.(e.dst) <- true)
+    g;
+  let membership = Array.make n None in
+  let heads = ref [] in
+  for h = n - 1 downto 0 do
+    if is_head.(h) then begin
+      heads := h :: !heads;
+      membership.(h) <- Some (natural_loop g dom h)
+    end
+  done;
+  let depth = Array.make n 0 in
+  List.iter
+    (fun h ->
+      match membership.(h) with
+      | Some set ->
+        for b = 0 to n - 1 do
+          if bit_get set b then depth.(b) <- depth.(b) + 1
+        done
+      | None -> ())
+    !heads;
+  let preheader = Array.make n false in
+  for b = 0 to n - 1 do
+    match Graph.single_uncond_succ g b with
+    | Some h when is_head.(h) && Dom.dominates dom b h -> preheader.(b) <- true
+    | _ -> ()
+  done;
+  { graph = g; dom; heads = !heads; membership; depth; preheader }
+
+let is_backedge t ~src ~dst =
+  Dom.dominates t.dom dst src
+  && List.exists (fun (e : Graph.edge) -> e.dst = dst) t.graph.succs.(src)
+
+let in_loop t ~head b =
+  match t.membership.(head) with Some set -> bit_get set b | None -> false
+
+let is_exit_edge t ~src ~dst =
+  List.exists
+    (fun h -> in_loop t ~head:h src && not (in_loop t ~head:h dst))
+    t.heads
+
+let is_loop_head t h = t.membership.(h) <> None
+let is_preheader t b = t.preheader.(b)
+let loop_heads t = t.heads
+let loop_depth t b = t.depth.(b)
+
+let loops_containing t b = List.filter (fun h -> in_loop t ~head:h b) t.heads
+
+let loop_body t ~head =
+  match t.membership.(head) with
+  | None -> []
+  | Some set ->
+    let rec go b acc =
+      if b < 0 then acc else go (b - 1) (if bit_get set b then b :: acc else acc)
+    in
+    go (t.graph.nblocks - 1) []

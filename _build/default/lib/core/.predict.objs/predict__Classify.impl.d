@@ -1,0 +1,1 @@
+lib/core/classify.ml: Array Cfg Format List

@@ -1,0 +1,1 @@
+lib/core/combined.ml: Array Classify Database Fun Heuristic List

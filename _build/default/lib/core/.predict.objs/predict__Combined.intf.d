@@ -1,0 +1,1 @@
+lib/core/combined.mli: Database Heuristic

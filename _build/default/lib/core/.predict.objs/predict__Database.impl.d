@@ -1,0 +1,1 @@
+lib/core/database.ml: Array Cfg Classify Heuristic List Mips

@@ -1,0 +1,1 @@
+lib/core/database.mli: Cfg Classify Mips

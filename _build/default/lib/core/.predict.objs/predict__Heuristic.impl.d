@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Cfg Format Hashtbl List Mips Printf String

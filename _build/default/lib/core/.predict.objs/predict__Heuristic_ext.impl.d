@@ -1,0 +1,1 @@
+lib/core/heuristic_ext.ml: Array Cfg Heuristic List Mips

@@ -1,0 +1,1 @@
+lib/core/heuristic_ext.mli: Cfg

@@ -1,0 +1,1 @@
+lib/core/ordering.ml: Array Combined Database Float Fun Heuristic List

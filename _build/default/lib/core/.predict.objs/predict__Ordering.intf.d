@@ -1,0 +1,1 @@
+lib/core/ordering.mli: Combined Database

@@ -1,0 +1,1 @@
+lib/core/probability.ml: Array Classify Combined Database Heuristic List

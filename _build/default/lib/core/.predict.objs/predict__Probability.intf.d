@@ -1,0 +1,1 @@
+lib/core/probability.mli: Combined Database

@@ -1,0 +1,37 @@
+type order = Heuristic.t list
+
+let paper_order =
+  Heuristic.[ Point; Call; Opcode; Return; Store; Loop; Guard ]
+
+let validate order =
+  let sorted = List.sort compare (List.map Heuristic.to_int order) in
+  if sorted <> List.init Heuristic.count Fun.id then
+    invalid_arg "Combined.validate: not a permutation of the heuristics"
+
+type source =
+  | By of Heuristic.t
+  | Default
+
+let predict_non_loop order (br : Database.branch) =
+  let rec go = function
+    | [] -> (br.rand_pred, Default)
+    | h :: rest -> begin
+      match br.heur.(Heuristic.to_int h) with
+      | Some dir -> (dir, By h)
+      | None -> go rest
+    end
+  in
+  go order
+
+let predict order (br : Database.branch) =
+  match br.cls with
+  | Classify.Loop_branch -> br.loop_pred
+  | Classify.Non_loop_branch -> fst (predict_non_loop order br)
+
+let loop_rand_predict (br : Database.branch) =
+  match br.cls with
+  | Classify.Loop_branch -> br.loop_pred
+  | Classify.Non_loop_branch -> br.rand_pred
+
+let perfect_predict (br : Database.branch) =
+  br.taken_count >= br.fall_count

@@ -1,0 +1,43 @@
+let total_exec branches =
+  List.fold_left (fun acc b -> acc + Database.exec b) 0 branches
+
+let ratio num den = if den = 0 then Float.nan else float_of_int num /. float_of_int den
+
+let miss_rate predictor branches =
+  let miss =
+    List.fold_left (fun acc b -> acc + Database.misses b (predictor b)) 0 branches
+  in
+  ratio miss (total_exec branches)
+
+let perfect_rate branches =
+  let miss = List.fold_left (fun acc b -> acc + Database.perfect_misses b) 0 branches in
+  ratio miss (total_exec branches)
+
+let covered partial branches =
+  List.filter (fun b -> partial b <> None) branches
+
+let coverage partial branches =
+  ratio (total_exec (covered partial branches)) (total_exec branches)
+
+let miss_rate_covered partial branches =
+  let cov = covered partial branches in
+  let miss =
+    List.fold_left
+      (fun acc b ->
+        match partial b with
+        | Some dir -> acc + Database.misses b dir
+        | None -> acc)
+      0 cov
+  in
+  ratio miss (total_exec cov)
+
+let big_branches ~threshold branches =
+  let total = total_exec branches in
+  if total = 0 then ([], 0.)
+  else begin
+    let cutoff = threshold *. float_of_int total in
+    let big =
+      List.filter (fun b -> float_of_int (Database.exec b) > cutoff) branches
+    in
+    (big, ratio (total_exec big) total)
+  end

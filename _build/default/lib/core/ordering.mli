@@ -1,0 +1,41 @@
+(** Enumeration and evaluation of heuristic orderings (Section 5,
+    Graph 1 and Table 4).
+
+    There are 7! = 5040 total orders of the heuristics.  The quality
+    of an order on a benchmark is the dynamic miss rate of the
+    combined predictor (heuristics + Default) on the benchmark's
+    non-loop branches; benchmarks are averaged with equal weight, as
+    in the paper. *)
+
+val factorial : int -> int
+
+val all_orders : unit -> Combined.order array
+(** The 5040 permutations, in lexicographic order of heuristic
+    indices; index 0 is [Opcode; Loop; Call; Return; Guard; Store;
+    Point]. *)
+
+val order_of_index : int -> Combined.order
+(** Lexicographic unranking; inverse of {!index_of_order}. *)
+
+val index_of_order : Combined.order -> int
+
+val non_loop_miss : Combined.order -> Database.t -> float
+(** Combined+Default miss rate on the non-loop branches of one
+    benchmark database. *)
+
+val miss_matrix : Database.t array -> float array array
+(** [m.(b).(o)]: miss rate of order [o] on benchmark [b], for all
+    5040 orders.  Shared by Graph 1 and the subset experiment. *)
+
+val sorted_average : float array array -> float array
+(** Graph 1's series: the per-order average across benchmarks, sorted
+    ascending. *)
+
+val best_order : float array array -> int * float
+(** Order index minimising the cross-benchmark average, with its
+    average miss rate. *)
+
+val pairwise_order : Database.t array -> Combined.order
+(** The cheaper ordering strategy of Section 5: compare each pair of
+    heuristics on the branches where both apply and order them by
+    pairwise wins (Copeland score). *)

@@ -1,0 +1,32 @@
+(** Branch probabilities from heuristic hit rates.
+
+    The paper predicts a {e direction}; its successor work (Wu &
+    Larus, MICRO 1994) turned the same heuristics into edge
+    {e probabilities} by using each heuristic's measured hit rate as
+    the probability of its predicted edge.  This module provides that
+    interface: the per-heuristic hit rates default to the rates
+    measured on this suite (Table 3), can be re-measured from any
+    benchmark set, and feed profile estimators such as
+    [examples/hot_paths.ml]. *)
+
+type table = {
+  rates : float array;  (** indexed by [Heuristic.to_int]: probability
+                            that the heuristic's prediction is right *)
+  loop_rate : float;    (** hit rate of the loop predictor *)
+  default_rate : float; (** the Default coin: 0.5 *)
+}
+
+val measured : table
+(** Hit rates measured on this repository's 23-benchmark suite
+    (complement of the Table 3 miss rates). *)
+
+val of_databases : Database.t list -> table
+(** Re-measure the table from benchmark databases: per heuristic, the
+    dynamic fraction of covered non-loop executions it predicts
+    correctly, and likewise for the loop predictor. *)
+
+val taken_probability : ?table:table -> Combined.order -> Database.branch -> float
+(** Probability that the branch is taken: the first applicable
+    heuristic's hit rate oriented by its predicted direction (loop
+    predictor for loop branches, 0.5 when only the Default coin
+    applies).  Always in [1 - rate, rate]. *)

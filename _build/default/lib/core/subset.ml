@@ -1,0 +1,133 @@
+type result = {
+  trials : int;
+  distinct_orders : int;
+  wins : (int * int) array;
+  overall : float array;
+}
+
+let choose n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := !acc * (n - k + i) / i
+    done;
+    !acc
+  end
+
+(* Lexicographically next k-combination of 0..n-1 in place; false at
+   the last combination. *)
+let next_combination comb n =
+  let k = Array.length comb in
+  let rec bump i =
+    if i < 0 then false
+    else if comb.(i) < n - k + i then begin
+      comb.(i) <- comb.(i) + 1;
+      for j = i + 1 to k - 1 do
+        comb.(j) <- comb.(j - 1) + 1
+      done;
+      true
+    end
+    else bump (i - 1)
+  in
+  bump (k - 1)
+
+let run ?k ?(max_trials = max_int) (m : float array array) =
+  let nb = Array.length m in
+  if nb = 0 then invalid_arg "Subset.run: empty matrix";
+  let no = Array.length m.(0) in
+  let k = match k with Some k -> k | None -> (nb + 1) / 2 in
+  if k <= 0 || k > nb then invalid_arg "Subset.run: bad subset size";
+  let comb = Array.init k Fun.id in
+  let cur = Array.make no 0. in
+  Array.iter
+    (fun b ->
+      let row = m.(b) in
+      for o = 0 to no - 1 do
+        cur.(o) <- cur.(o) +. Array.unsafe_get row o
+      done)
+    comb;
+  let win_counts = Array.make no 0 in
+  let argmin () =
+    let best = ref 0 and best_v = ref (Array.unsafe_get cur 0) in
+    for o = 1 to no - 1 do
+      let v = Array.unsafe_get cur o in
+      if v < !best_v then begin
+        best_v := v;
+        best := o
+      end
+    done;
+    !best
+  in
+  let trials = ref 0 in
+  let record () =
+    let w = argmin () in
+    win_counts.(w) <- win_counts.(w) + 1;
+    incr trials
+  in
+  let prev = Array.copy comb in
+  record ();
+  let continue = ref true in
+  while !continue && !trials < max_trials do
+    Array.blit comb 0 prev 0 k;
+    if next_combination comb nb then begin
+      (* Apply the row deltas between [prev] and [comb].  Both are
+         sorted; symmetric difference via merge. *)
+      let add b =
+        let row = m.(b) in
+        for o = 0 to no - 1 do
+          Array.unsafe_set cur o (Array.unsafe_get cur o +. Array.unsafe_get row o)
+        done
+      and sub b =
+        let row = m.(b) in
+        for o = 0 to no - 1 do
+          Array.unsafe_set cur o (Array.unsafe_get cur o -. Array.unsafe_get row o)
+        done
+      in
+      let i = ref 0 and j = ref 0 in
+      while !i < k || !j < k do
+        if !i < k && !j < k && prev.(!i) = comb.(!j) then begin
+          incr i;
+          incr j
+        end
+        else if !j >= k || (!i < k && prev.(!i) < comb.(!j)) then begin
+          sub prev.(!i);
+          incr i
+        end
+        else begin
+          add comb.(!j);
+          incr j
+        end
+      done;
+      record ()
+    end
+    else continue := false
+  done;
+  let overall =
+    Array.init no (fun o ->
+        let s = ref 0. in
+        for b = 0 to nb - 1 do
+          s := !s +. m.(b).(o)
+        done;
+        !s /. float_of_int nb)
+  in
+  let wins =
+    Array.to_list win_counts
+    |> List.mapi (fun o c -> (o, c))
+    |> List.filter (fun (_, c) -> c > 0)
+    |> List.sort (fun (o1, c1) (o2, c2) ->
+           let c = compare c2 c1 in
+           if c <> 0 then c else compare o1 o2)
+    |> Array.of_list
+  in
+  { trials = !trials; distinct_orders = Array.length wins; wins; overall }
+
+let cumulative_share r =
+  let total = float_of_int r.trials in
+  let acc = ref 0. in
+  Array.map
+    (fun (_, c) ->
+      acc := !acc +. float_of_int c;
+      !acc /. total)
+    r.wins

@@ -1,0 +1,34 @@
+(** The C(n, k) subset cross-validation experiment of Section 5
+    (Graphs 2-3 and Table 4).
+
+    For every k-subset of the benchmarks ("the known benchmarks") the
+    experiment finds the heuristic order minimising the subset's
+    average non-loop miss rate, then evaluates that order on {e all}
+    benchmarks.  With n = 22, k = 11 that is 705,432 trials; subsets
+    are enumerated lexicographically and the per-order subset sums are
+    maintained incrementally, so the full experiment runs in seconds.
+
+    Ties between orders are broken toward the lower order index,
+    making results deterministic. *)
+
+type result = {
+  trials : int;                  (** number of subsets examined *)
+  distinct_orders : int;         (** how many orders ever won *)
+  wins : (int * int) array;      (** (order index, #trials won), by
+                                     descending frequency *)
+  overall : float array;         (** per-order average miss rate over
+                                     ALL benchmarks, indexed by order *)
+}
+
+val choose : int -> int -> int
+(** Binomial coefficient. *)
+
+val run : ?k:int -> ?max_trials:int -> float array array -> result
+(** [run m] over the miss matrix from {!Ordering.miss_matrix}
+    ([m.(benchmark).(order)]).  [k] defaults to half the benchmarks,
+    rounded up.  [max_trials] caps the enumeration (first trials in
+    lexicographic order) for quick runs; default unlimited. *)
+
+val cumulative_share : result -> float array
+(** Graph 2's series: cumulative fraction of all trials accounted for
+    by the most common winning orders. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Bench_run Float Format Hashtbl List Mips Orderings Predict Stats String Texttab Workloads

@@ -1,0 +1,1 @@
+lib/experiments/bench_run.ml: Array Cfg Hashtbl List Mips Predict Sim Workloads

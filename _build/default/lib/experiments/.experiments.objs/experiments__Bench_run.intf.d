@@ -1,0 +1,1 @@
+lib/experiments/bench_run.mli: Cfg Mips Predict Sim Workloads

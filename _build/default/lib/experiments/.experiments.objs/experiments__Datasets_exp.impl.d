@@ -1,0 +1,1 @@
+lib/experiments/datasets_exp.ml: Array Bench_run Format List Predict Sim Texttab Workloads

@@ -1,0 +1,1 @@
+lib/experiments/datasets_exp.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/driver.ml: Ablation Datasets_exp Format List Orderings Printf String Tables Traces

@@ -1,0 +1,1 @@
+lib/experiments/orderings.ml: Array Bench_run Format List Predict Stats String Texttab Workloads

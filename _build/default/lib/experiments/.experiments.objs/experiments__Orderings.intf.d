@@ -1,0 +1,1 @@
+lib/experiments/orderings.mli: Bench_run Format

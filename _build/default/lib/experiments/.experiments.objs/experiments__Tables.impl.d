@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Array Bench_run Float Format List Mips Predict Printf Stats String Texttab Workloads

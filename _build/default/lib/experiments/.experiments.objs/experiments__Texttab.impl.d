@@ -1,0 +1,1 @@
+lib/experiments/texttab.ml: Array Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/texttab.mli: Format

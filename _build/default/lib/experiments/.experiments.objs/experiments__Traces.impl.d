@@ -1,0 +1,1 @@
+lib/experiments/traces.ml: Array Bench_run Format Hashtbl List Predict Printf Sim String Texttab Tracing Workloads

@@ -1,0 +1,1 @@
+lib/experiments/traces.mli: Bench_run Format Sim

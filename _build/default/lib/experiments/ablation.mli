@@ -1,0 +1,33 @@
+(** Ablation studies for the design choices DESIGN.md calls out. *)
+
+val btfn : Format.formatter -> unit
+(** Natural-loop classification + heuristics vs the naive
+    backward-taken / forward-not-taken rule, on all branches. *)
+
+val pairwise : Format.formatter -> unit
+(** The cheap pairwise ordering of Section 5 vs the paper's order and
+    the globally best order. *)
+
+val seeds : Format.formatter -> unit
+(** Sensitivity of the combined predictor to the Default coin's seed. *)
+
+val opcode_fusion : Format.formatter -> unit
+(** How much of the Opcode heuristic's coverage comes from the
+    compare-against-zero branch forms: coverage of [bltz]-family
+    branches vs FP-equality branches per benchmark. *)
+
+val profile_based : Format.formatter -> unit
+(** The paper's Section 1 comparison: profile-based prediction (a
+    perfect static predictor trained on a {e different} dataset,
+    Fisher-Freudenberger style) vs the program-based heuristics vs the
+    self-profile bound, all evaluated on the primary dataset. *)
+
+val layout : Format.formatter -> unit
+(** Prediction-guided code layout: dynamic taken-branch rate before
+    and after re-linearising each workload along predicted traces
+    (the "arrange code for forward-not-taken hardware" use case). *)
+
+val extended : Format.formatter -> unit
+(** Section 4.4's negative results: the Distance / Postdom / Dominated
+    heuristics the paper discarded, plus the deeper Guard
+    generalisation, each in isolation. *)

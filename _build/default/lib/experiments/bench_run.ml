@@ -1,0 +1,59 @@
+type t = {
+  wl : Workloads.Workload.t;
+  prog : Mips.Program.t;
+  analyses : Cfg.Analysis.t array;
+  profile : Sim.Profile.t;
+  db : Predict.Database.t;
+}
+
+let cache : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let load wl =
+  let name = wl.Workloads.Workload.name in
+  match Hashtbl.find_opt cache name with
+  | Some t -> t
+  | None ->
+    let prog = Workloads.Workload.compile wl in
+    let analyses = Cfg.Analysis.of_program prog in
+    let profile =
+      Sim.Profile.run prog (Workloads.Workload.primary_dataset wl)
+    in
+    let db =
+      Predict.Database.make prog analyses ~taken:profile.taken
+        ~fall:profile.fall
+    in
+    let t = { wl; prog; analyses; profile; db } in
+    Hashtbl.replace cache name t;
+    t
+
+let load_all () = List.map load Workloads.Registry.all
+
+let load_named names = List.map (fun n -> load (Workloads.Registry.find n)) names
+
+let db_cache : (string * string, Predict.Database.t) Hashtbl.t =
+  Hashtbl.create 64
+
+let db_for t ds =
+  let key = (t.wl.name, ds.Sim.Dataset.name) in
+  match Hashtbl.find_opt db_cache key with
+  | Some db -> db
+  | None ->
+    let profile = Sim.Profile.run t.prog ds in
+    let db =
+      Predict.Database.make t.prog t.analyses ~taken:profile.taken
+        ~fall:profile.fall
+    in
+    Hashtbl.replace db_cache key db;
+    db
+
+let prediction_bits t predictor =
+  let bits =
+    Array.map
+      (fun (p : Mips.Program.proc) -> Array.make (Array.length p.body) false)
+      t.prog.procs
+  in
+  Array.iter
+    (fun (br : Predict.Database.branch) ->
+      bits.(br.proc).(br.pc) <- predictor br)
+    t.db.branches;
+  bits

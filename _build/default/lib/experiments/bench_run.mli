@@ -1,0 +1,32 @@
+(** Compiled-and-profiled benchmarks, memoised.
+
+    A [t] joins everything the experiment drivers need for one
+    workload: the compiled program, its per-procedure CFG analyses,
+    the edge profile of the primary dataset, and the resulting branch
+    database. *)
+
+type t = {
+  wl : Workloads.Workload.t;
+  prog : Mips.Program.t;
+  analyses : Cfg.Analysis.t array;
+  profile : Sim.Profile.t;
+  db : Predict.Database.t;
+}
+
+val load : Workloads.Workload.t -> t
+(** Compile, analyse, and profile on the primary dataset (memoised per
+    workload name). *)
+
+val load_all : unit -> t list
+(** All benchmarks of {!Workloads.Registry.all}. *)
+
+val load_named : string list -> t list
+
+val db_for : t -> Sim.Dataset.t -> Predict.Database.t
+(** Branch database for a non-primary dataset (profiles it afresh;
+    memoised per (workload, dataset) pair). *)
+
+val prediction_bits :
+  t -> (Predict.Database.branch -> bool) -> Sim.Trace_run.prediction_bits
+(** Materialise a static predictor into the per-pc bit arrays the
+    trace runner consumes. *)

@@ -1,0 +1,31 @@
+module D = Predict.Database
+module M = Predict.Metrics
+
+let graph13 ppf =
+  Format.fprintf ppf
+    "Graph 13: miss rates (all branches) across datasets@.";
+  Format.fprintf ppf
+    "(the heuristic predictor is dataset independent: same static@.";
+  Format.fprintf ppf
+    " predictions everywhere; the perfect predictor is per-dataset)@.@.";
+  let order = Predict.Combined.paper_order in
+  let rows =
+    List.concat_map
+      (fun wl ->
+        let r = Bench_run.load wl in
+        List.map
+          (fun ds ->
+            let db = Bench_run.db_for r ds in
+            let branches = Array.to_list db.branches in
+            [
+              r.wl.Workloads.Workload.name;
+              ds.Sim.Dataset.name;
+              Texttab.pct (M.miss_rate (Predict.Combined.predict order) branches);
+              Texttab.pct (M.perfect_rate branches);
+            ])
+          wl.Workloads.Workload.datasets)
+      Workloads.Registry.all
+  in
+  Texttab.render ppf
+    ~header:[ "Program"; "dataset"; "Heuristic miss%"; "Perfect miss%" ]
+    rows

@@ -1,0 +1,6 @@
+(** Cross-dataset stability (Section 7, Graph 13). *)
+
+val graph13 : Format.formatter -> unit
+(** For every workload and dataset: all-branch miss rate of the
+    heuristic predictor (whose predictions are fixed across datasets)
+    and of the per-dataset perfect static predictor. *)

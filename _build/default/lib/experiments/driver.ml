@@ -1,0 +1,109 @@
+type experiment = {
+  id : string;
+  title : string;
+  run : Format.formatter -> unit;
+}
+
+let traced_graph id name =
+  {
+    id;
+    title = Printf.sprintf "Graph (%s): sequence-length distribution" name;
+    run = (fun ppf -> Traces.graph_for ppf name);
+  }
+
+let all =
+  [
+    { id = "table1"; title = "Table 1: benchmark roster"; run = Tables.table1 };
+    {
+      id = "table2";
+      title = "Table 2: loop vs non-loop breakdown";
+      run = Tables.table2;
+    };
+    {
+      id = "table3";
+      title = "Table 3: heuristics in isolation";
+      run = Tables.table3;
+    };
+    {
+      id = "graph1";
+      title = "Graph 1: all 5040 orderings";
+      run = Orderings.graph1;
+    };
+    {
+      id = "graph2";
+      title = "Graphs 2-3 and Table 4: subset experiment";
+      run = (fun ppf -> Orderings.graph2_3_table4 ppf);
+    };
+    {
+      id = "table5";
+      title = "Table 5: prioritised heuristics";
+      run = Tables.table5;
+    };
+    { id = "table6"; title = "Table 6: final results"; run = Tables.table6 };
+    { id = "table7"; title = "Table 7: summary"; run = Tables.table7 };
+    traced_graph "graph4" "spice2g6";
+    traced_graph "graph6" "gcc";
+    traced_graph "graph7" "lcc";
+    traced_graph "graph8" "qpt";
+    traced_graph "graph9" "xlisp";
+    traced_graph "graph10" "doduc";
+    traced_graph "graph11" "fpppp";
+    { id = "graph12"; title = "Graph 12: analytic model"; run = Traces.graph12 };
+    {
+      id = "graph13";
+      title = "Graph 13: other datasets";
+      run = Datasets_exp.graph13;
+    };
+    {
+      id = "loopshapes";
+      title = "Section 3 support: forward loop branches";
+      run = Tables.loop_shapes;
+    };
+    {
+      id = "ablation-btfn";
+      title = "Ablation: BTFN baseline";
+      run = Ablation.btfn;
+    };
+    {
+      id = "ablation-orders";
+      title = "Ablation: ordering strategies";
+      run = Ablation.pairwise;
+    };
+    {
+      id = "ablation-seeds";
+      title = "Ablation: default-coin seeds";
+      run = Ablation.seeds;
+    };
+    {
+      id = "ablation-opcode";
+      title = "Ablation: opcode composition";
+      run = Ablation.opcode_fusion;
+    };
+    {
+      id = "ablation-profile";
+      title = "Ablation: profile-based vs program-based";
+      run = Ablation.profile_based;
+    };
+    {
+      id = "ablation-layout";
+      title = "Ablation: prediction-guided code layout";
+      run = Ablation.layout;
+    };
+    {
+      id = "ablation-ext";
+      title = "Ablation: unsuccessful heuristics (Section 4.4)";
+      run = Ablation.extended;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> String.equal e.id id) all
+
+let run_all ?(quick = false) ppf =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "==== %s ====@.@." e.title;
+      (if String.equal e.id "graph2" && quick then
+         Orderings.graph2_3_table4 ~max_trials:20_000 ppf
+       else e.run ppf);
+      Format.fprintf ppf "@.")
+    all

@@ -1,0 +1,18 @@
+(** Experiment registry: every table and figure by name. *)
+
+type experiment = {
+  id : string;       (** e.g. "table2", "graph4" *)
+  title : string;
+  run : Format.formatter -> unit;
+}
+
+val all : experiment list
+(** Every reproduction target of DESIGN.md's experiment index, in
+    paper order, plus the ablations. *)
+
+val find : string -> experiment option
+
+val run_all : ?quick:bool -> Format.formatter -> unit
+(** Run every experiment in sequence, with banners.  [quick] caps the
+    subset experiment at 20,000 trials (default false: full
+    705,432-trial enumeration). *)

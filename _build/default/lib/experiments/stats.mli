@@ -1,0 +1,13 @@
+(** Small statistics helpers for the experiment tables. *)
+
+val mean : float list -> float
+(** [nan] on the empty list.  NaN elements are skipped, matching the
+    paper's convention of excluding blank table entries from means. *)
+
+val stddev : float list -> float
+(** Population standard deviation, with the same NaN handling. *)
+
+val mean_std : float list -> float * float
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] with [p] in [0, 1]; linear interpolation. *)

@@ -1,0 +1,19 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type align = L | R
+
+val render :
+  Format.formatter -> header:string list -> ?aligns:align list ->
+  string list list -> unit
+(** Column-aligned table with a rule under the header.  Rows shorter
+    than the header are right-padded with blanks. *)
+
+val pct : float -> string
+(** A percentage like the paper prints them: [0.224 -> "22"];
+    ["-"] for NaN. *)
+
+val pct1 : float -> string
+(** One decimal: [0.224 -> "22.4"]. *)
+
+val ratio : float -> float -> string
+(** The paper's C/D notation, e.g. ["22/15"]. *)

@@ -1,0 +1,105 @@
+let predictors_for (r : Bench_run.t) =
+  let order = Predict.Combined.paper_order in
+  [
+    ("Loop+Rand", Bench_run.prediction_bits r Predict.Combined.loop_rand_predict);
+    ("Heuristic", Bench_run.prediction_bits r (Predict.Combined.predict order));
+    ("Perfect", Bench_run.prediction_bits r Predict.Combined.perfect_predict);
+  ]
+
+let trace_cache : (string, Tracing.Ipbc.distribution list) Hashtbl.t =
+  Hashtbl.create 16
+
+let distributions name =
+  match Hashtbl.find_opt trace_cache name with
+  | Some d -> d
+  | None ->
+    let r = Bench_run.load (Workloads.Registry.find name) in
+    let results =
+      Sim.Trace_run.run r.prog
+        (Workloads.Workload.primary_dataset r.wl)
+        (predictors_for r)
+    in
+    let d = List.map Tracing.Ipbc.of_result results in
+    Hashtbl.replace trace_cache name d;
+    d
+
+let lengths = [ 10; 20; 50; 100; 200; 500; 1000; 2000; 5000; 10000 ]
+
+let graph_for ppf name =
+  let dists = distributions name in
+  Format.fprintf ppf
+    "Graph (%s): cumulative %% of executed instructions in sequences@." name;
+  Format.fprintf ppf "shorter than the given length, per predictor@.@.";
+  Texttab.render ppf
+    ~header:[ "predictor"; "miss%"; "ipbc"; "div.len" ]
+    (List.map
+       (fun (d : Tracing.Ipbc.distribution) ->
+         [
+           d.label;
+           Texttab.pct d.miss_rate;
+           Printf.sprintf "%.0f" d.ipbc;
+           string_of_int (Tracing.Ipbc.dividing_length d);
+         ])
+       dists);
+  Format.fprintf ppf "@.";
+  Texttab.render ppf
+    ~header:
+      ("len <"
+      :: List.map (fun (d : Tracing.Ipbc.distribution) -> d.label) dists)
+    (List.map
+       (fun len ->
+         string_of_int len
+         :: List.map
+              (fun d ->
+                Texttab.pct (Tracing.Ipbc.fraction_below d len))
+              dists)
+       lengths);
+  if String.equal name "spice2g6" then begin
+    Format.fprintf ppf
+      "@.Graph 5 (%s): cumulative %% of BREAKS in sequences shorter@." name;
+    Format.fprintf ppf "than the given length (the skew behind the IPBC bias)@.@.";
+    Texttab.render ppf
+      ~header:
+        ("len <"
+        :: List.map (fun (d : Tracing.Ipbc.distribution) -> d.label) dists)
+      (List.map
+         (fun len ->
+           string_of_int len
+           :: List.map
+                (fun (d : Tracing.Ipbc.distribution) ->
+                  let rec go i prev =
+                    if i >= Array.length d.by_breaks then prev
+                    else begin
+                      let bound, frac = d.by_breaks.(i) in
+                      if bound > len then prev else go (i + 1) frac
+                    end
+                  in
+                  Texttab.pct (go 0 0.))
+                dists)
+         lengths)
+  end
+
+let graphs4_11 ppf =
+  List.iter
+    (fun (wl : Workloads.Workload.t) ->
+      graph_for ppf wl.name;
+      Format.fprintf ppf "@.")
+    (Workloads.Registry.traced ())
+
+let graph12 ppf =
+  Format.fprintf ppf
+    "Graph 12: model y = 1 - (1-m)^s (unit blocks, independent branches)@.@.";
+  let misses = List.init 12 (fun i -> 0.025 *. float_of_int (i + 1)) in
+  let seqlens = [ 1; 2; 5; 10; 20; 50; 100; 200 ] in
+  Texttab.render ppf
+    ~header:
+      ("m \\ s" :: List.map string_of_int seqlens)
+    (List.map
+       (fun m ->
+         Texttab.pct1 m
+         :: List.map
+              (fun s -> Texttab.pct (Tracing.Ipbc.model ~miss_rate:m s))
+              seqlens)
+       misses);
+  Format.fprintf ppf
+    "@.The payoff in sequence length comes from pushing m below ~15%%.@."

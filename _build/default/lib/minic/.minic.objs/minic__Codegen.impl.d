@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Array Ast Hashtbl List Mips Option Printf Sema String

@@ -1,0 +1,1 @@
+lib/minic/frontend.ml: Codegen Hashtbl Lexer List Mips Parser Peephole Printf Sema

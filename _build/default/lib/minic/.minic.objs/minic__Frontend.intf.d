@@ -1,0 +1,1 @@
+lib/minic/frontend.mli: Mips Sema

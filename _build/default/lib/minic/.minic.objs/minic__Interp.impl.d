@@ -1,0 +1,1 @@
+lib/minic/interp.ml: Array Ast Float Frontend Hashtbl List Option Printf Sema Sim String

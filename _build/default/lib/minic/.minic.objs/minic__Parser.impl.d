@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Array Ast Fun Lexer List Printf String

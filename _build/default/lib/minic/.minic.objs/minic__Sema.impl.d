@@ -1,0 +1,1 @@
+lib/minic/sema.ml: Ast Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/minic/sema.mli: Ast Hashtbl

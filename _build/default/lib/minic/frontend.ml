@@ -1,0 +1,118 @@
+exception Error of string
+
+let prelude =
+  {|
+/* MiniC runtime: the "libc" analysed along with every program. */
+
+int __heap_ptr = 0;
+int __rand_state = 123456789;
+
+int *alloc(int nwords) {
+  int p;
+  if (nwords <= 0) {
+    nwords = 1;
+  }
+  p = __heap_ptr;
+  __heap_ptr = __heap_ptr + nwords;
+  return (int *)p;
+}
+
+int iabs(int x) {
+  if (x < 0) {
+    return -x;
+  }
+  return x;
+}
+
+int imin(int a, int b) {
+  if (a < b) {
+    return a;
+  }
+  return b;
+}
+
+int imax(int a, int b) {
+  if (a > b) {
+    return a;
+  }
+  return b;
+}
+
+float fabs_(float x) {
+  return fabs(x);
+}
+
+void fill(int *p, int v, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    p[i] = v;
+  }
+}
+
+void copy(int *dst, int *src, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    dst[i] = src[i];
+  }
+}
+
+void srand_(int s) {
+  if (s == 0) {
+    s = 1;
+  }
+  __rand_state = s;
+}
+
+int rand_() {
+  __rand_state = (__rand_state * 1103515245 + 12345) & 0x3FFFFFFF;
+  return (__rand_state >> 8) & 0xFFFFF;
+}
+|}
+
+let parse_and_check ?(gp_base = 1024) src =
+  try Sema.check ~gp_base (Parser.parse src) with
+  | Lexer.Error (line, msg) ->
+    raise (Error (Printf.sprintf "lex error, line %d: %s" line msg))
+  | Parser.Error (line, msg) ->
+    raise (Error (Printf.sprintf "parse error, line %d: %s" line msg))
+  | Sema.Error (line, msg) ->
+    raise (Error (Printf.sprintf "type error, line %d: %s" line msg))
+
+let compile ?(gp_base = 1024) ?(heap_base = 65536) ?(stack_base = 4_194_304)
+    ?(mem_words = 4_194_560) ?(with_prelude = true) ?(optimize = true) src =
+  let full = if with_prelude then prelude ^ "\n" ^ src else src in
+  let checked = parse_and_check ~gp_base full in
+  if gp_base + checked.globals_words > heap_base then
+    raise
+      (Error
+         (Printf.sprintf "static data (%d words) collides with the heap"
+            checked.globals_words));
+  let procs =
+    try Codegen.gen_program checked with
+    | Codegen.Error msg -> raise (Error (Printf.sprintf "codegen error: %s" msg))
+  in
+  let procs =
+    if optimize then
+      List.map (fun (name, items) -> (name, fst (Peephole.optimize items))) procs
+    else procs
+  in
+  let idata = checked.idata in
+  (* Point the allocator at the heap. *)
+  let idata =
+    if with_prelude then begin
+      match Hashtbl.find_opt checked.globals "__heap_ptr" with
+      | Some g -> idata @ [ (g.gaddr, heap_base) ]
+      | None -> idata
+    end
+    else idata
+  in
+  try
+    Mips.Program.make ~gp_base ~heap_base ~stack_base ~mem_words ~idata
+      ~fdata:checked.fdata ~entry:"main" procs
+  with
+  | Mips.Asm.Unknown_label l ->
+    raise (Error (Printf.sprintf "assembler: unknown label %s" l))
+  | Mips.Asm.Duplicate_label l ->
+    raise (Error (Printf.sprintf "assembler: duplicate label %s" l))
+  | Mips.Program.Unknown_procedure p ->
+    raise (Error (Printf.sprintf "linker: unknown procedure %s" p))

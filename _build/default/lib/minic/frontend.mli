@@ -1,0 +1,24 @@
+(** End-to-end MiniC compilation.
+
+    [compile src] parses, checks, and compiles [src] together with the
+    runtime prelude — a small MiniC "libc" (allocator, abs/min/max,
+    block fill/copy, a linear-congruential generator) that is compiled
+    and analysed with every program, just as the paper's measurements
+    include DEC Ultrix library procedures. *)
+
+exception Error of string
+(** Any front-end failure, with phase and line information folded into
+    the message. *)
+
+val prelude : string
+(** Source text of the runtime prelude. *)
+
+val compile :
+  ?gp_base:int -> ?heap_base:int -> ?stack_base:int -> ?mem_words:int ->
+  ?with_prelude:bool -> ?optimize:bool -> string -> Mips.Program.t
+(** Compile a translation unit whose entry point is [int main()].
+    @param with_prelude include the runtime prelude (default true).
+    @param optimize run the peephole pass (default true). *)
+
+val parse_and_check : ?gp_base:int -> string -> Sema.checked
+(** Front half only — used by tests and analysis tools. *)

@@ -1,0 +1,126 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type t = { tok : token; line : int }
+
+exception Error of int * string
+
+let keywords =
+  [ "int"; "float"; "void"; "struct"; "if"; "else"; "while"; "for"; "do";
+    "switch"; "case"; "default"; "return"; "break"; "continue"; "sizeof";
+    "null"; "print"; "halt" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+(* Longest-match first. *)
+let puncts =
+  [ "<<="; ">>="; "->"; "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||";
+    "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "++"; "--";
+    "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "=";
+    "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "."; "?"; ":" ]
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let out = ref [] in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let error msg = raise (Error (!line, msg)) in
+  let starts_with s =
+    let l = String.length s in
+    !pos + l <= n && String.equal (String.sub src !pos l) s
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if starts_with "//" then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if starts_with "/*" then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while not !closed do
+        if !pos >= n then error "unterminated comment"
+        else if src.[!pos] = '\n' then begin
+          incr line;
+          incr pos
+        end
+        else if starts_with "*/" then begin
+          pos := !pos + 2;
+          closed := true
+        end
+        else incr pos
+      done
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        pos := !pos + 2;
+        while !pos < n && is_hex src.[!pos] do
+          incr pos
+        done;
+        let s = String.sub src start (!pos - start) in
+        out := { tok = INT (int_of_string s); line = !line } :: !out
+      end
+      else begin
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done;
+        let is_float =
+          !pos < n && src.[!pos] = '.'
+          && (match peek 1 with Some c -> is_digit c | None -> false)
+        in
+        if is_float then begin
+          incr pos;
+          while !pos < n && is_digit src.[!pos] do
+            incr pos
+          done;
+          (* optional exponent *)
+          if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+            incr pos;
+            if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then incr pos;
+            while !pos < n && is_digit src.[!pos] do
+              incr pos
+            done
+          end;
+          let s = String.sub src start (!pos - start) in
+          out := { tok = FLOAT (float_of_string s); line = !line } :: !out
+        end
+        else begin
+          let s = String.sub src start (!pos - start) in
+          out := { tok = INT (int_of_string s); line = !line } :: !out
+        end
+      end
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident src.[!pos] do
+        incr pos
+      done;
+      let s = String.sub src start (!pos - start) in
+      let tok = if List.mem s keywords then KW s else IDENT s in
+      out := { tok; line = !line } :: !out
+    end
+    else begin
+      match List.find_opt starts_with puncts with
+      | Some p ->
+        pos := !pos + String.length p;
+        out := { tok = PUNCT p; line = !line } :: !out
+      | None -> error (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  List.rev ({ tok = EOF; line = !line } :: !out)

@@ -1,0 +1,1 @@
+lib/mips/asm.ml: Array Format Hashtbl Insn List String

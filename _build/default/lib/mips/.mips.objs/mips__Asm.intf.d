@@ -1,0 +1,1 @@
+lib/mips/asm.mli: Format Insn

@@ -1,0 +1,1 @@
+lib/mips/freg.ml: Format Int Printf

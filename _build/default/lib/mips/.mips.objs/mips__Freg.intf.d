@@ -1,0 +1,1 @@
+lib/mips/freg.mli: Format

@@ -1,0 +1,1 @@
+lib/mips/insn.ml: Array Format Freg Reg String

@@ -1,0 +1,1 @@
+lib/mips/insn.mli: Format Freg Reg

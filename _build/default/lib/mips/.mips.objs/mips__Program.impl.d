@@ -1,0 +1,1 @@
+lib/mips/program.ml: Array Asm Format Insn List String

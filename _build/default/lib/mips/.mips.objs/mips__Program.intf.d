@@ -1,0 +1,1 @@
+lib/mips/program.mli: Asm Format Insn

@@ -1,0 +1,1 @@
+lib/mips/reg.ml: Array Format Int

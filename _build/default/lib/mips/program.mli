@@ -1,0 +1,50 @@
+(** Linked programs: procedures plus a static-data image and memory
+    layout.
+
+    The memory layout mirrors the conventions the Pointer heuristic
+    depends on: global (static) storage sits at [gp_base] and is
+    addressed off [$gp]; the heap grows upward from [heap_base]; the
+    stack grows downward from [stack_base].  Addresses are in words —
+    the simulator is word-addressed throughout. *)
+
+type proc = {
+  name : string;
+  index : int;             (** position in {!field-procs} *)
+  body : int Insn.t array; (** labels resolved to instruction indices *)
+}
+
+type t = {
+  procs : proc array;
+  entry : int;                    (** index of the start procedure *)
+  idata : (int * int) list;       (** initial integer memory image *)
+  fdata : (int * float) list;     (** initial float memory image *)
+  gp_base : int;
+  heap_base : int;
+  stack_base : int;
+  mem_words : int;                (** total memory size in words *)
+}
+
+exception Unknown_procedure of string
+
+val make :
+  ?gp_base:int -> ?heap_base:int -> ?stack_base:int -> ?mem_words:int ->
+  ?idata:(int * int) list -> ?fdata:(int * float) list ->
+  entry:string -> (string * Asm.item list) list -> t
+(** [make ~entry procs] assembles each procedure and links [Jal]
+    targets by name.  Raises {!Unknown_procedure} if [entry] or a call
+    target is not among [procs].  In the linked image a [Jal] carries
+    the procedure's name; the simulator resolves it through
+    {!proc_index} once at load time. *)
+
+val proc_index : t -> string -> int
+val find_proc : t -> string -> proc
+
+val code_size : t -> int
+(** Total instruction count over all procedures — the "code size"
+    column of Table 1. *)
+
+val static_branch_count : t -> int
+(** Number of two-way conditional branches in the program text. *)
+
+val pp : Format.formatter -> t -> unit
+(** Full disassembly. *)

@@ -1,0 +1,1 @@
+lib/sim/dataset.mli:

@@ -1,0 +1,1 @@
+lib/sim/trace_run.ml: Array List Machine

@@ -1,0 +1,1 @@
+lib/sim/trace_run.mli: Dataset Mips

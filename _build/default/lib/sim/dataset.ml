@@ -1,0 +1,23 @@
+type t = {
+  name : string;
+  ints : int array;
+  floats : float array;
+}
+
+let make ?(floats = [||]) ~name ints = { name; ints; floats }
+
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x4F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
+
+let of_seed ~name ~size ~seed =
+  let ints =
+    Array.init size (fun i -> abs (mix ((seed * 2654435761) + i)) land 0xFFFFF)
+  in
+  let floats =
+    Array.init size (fun i ->
+        let v = abs (mix ((seed * 40503) + (i * 2) + 1)) land 0xFFFFFF in
+        float_of_int v /. 16777216.)
+  in
+  { name; ints; floats }

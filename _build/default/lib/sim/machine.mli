@@ -1,0 +1,50 @@
+(** The execution substrate: a word-addressed interpreter for linked
+    programs.
+
+    This stands in for the paper's DECstation: it executes programs
+    instruction by instruction and surfaces the events QPT's
+    instrumentation observed — conditional-branch outcomes (for edge
+    profiles) and indirect transfers (for break-in-control
+    accounting).  Output is folded into a checksum so workloads stay
+    deterministic and testable without an I/O system. *)
+
+type t = {
+  prog : Mips.Program.t;
+  iregs : int array;          (** 32 integer registers; [0] stays 0 *)
+  fregs : float array;        (** 32 floating registers *)
+  mutable fcc : bool;         (** coprocessor-1 condition flag *)
+  mem_i : int array;          (** integer view of memory, in words *)
+  mem_f : float array;        (** float view of memory, in words *)
+  mutable proc : int;         (** current procedure index *)
+  mutable pc : int;           (** current instruction index *)
+  mutable instrs : int;       (** instructions executed so far *)
+  mutable checksum : int;     (** folded [print] output *)
+  mutable icursor : int;
+  mutable fcursor : int;
+  input : Dataset.t;
+}
+
+exception Fault of string
+(** Runtime error (bad address, division by zero, stack overflow,
+    instruction limit, …) with location context. *)
+
+type stats = {
+  instr_count : int;
+  checksum : int;
+  ints_read : int;
+  floats_read : int;
+}
+
+val run :
+  ?max_instrs:int ->
+  ?on_branch:(t -> taken:bool -> unit) ->
+  ?on_indirect:(t -> unit) ->
+  Mips.Program.t -> Dataset.t -> stats
+(** Execute the program on the dataset until [Halt] (or a return from
+    the entry procedure).  [on_branch] fires at every conditional
+    branch, after the condition is evaluated and before the transfer —
+    [t.proc]/[t.pc] still address the branch.  [on_indirect] fires at
+    jump-table transfers and indirect calls.
+
+    @param max_instrs fault after this many instructions
+    (default [2_000_000_000]). *)

@@ -1,0 +1,16 @@
+(** Edge profiling — what QPT's instrumented executables produced.
+
+    For every conditional branch the profile records how many times
+    control passed to the target and to the fall-through successor. *)
+
+type t = {
+  taken : int array array;  (** [taken.(proc).(pc)] *)
+  fall : int array array;
+  stats : Machine.stats;
+}
+
+val run : ?max_instrs:int -> Mips.Program.t -> Dataset.t -> t
+(** Execute and collect the edge profile. *)
+
+val branch_execs : t -> int
+(** Total dynamic conditional-branch executions. *)

@@ -1,0 +1,1 @@
+lib/tracing/ipbc.ml: Array Float Sim

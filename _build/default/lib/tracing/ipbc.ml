@@ -1,0 +1,55 @@
+type distribution = {
+  label : string;
+  total_instrs : int;
+  total_breaks : int;
+  ipbc : float;
+  miss_rate : float;
+  by_instructions : (int * float) array;
+  by_breaks : (int * float) array;
+}
+
+let of_result (r : Sim.Trace_run.result) =
+  let n = Sim.Trace_run.nbuckets in
+  let w = Sim.Trace_run.bucket_width in
+  let total_instrs = r.instr_count in
+  let total_breaks = r.breaks in
+  let fi = float_of_int in
+  let cum_of values total =
+    let acc = ref 0 in
+    Array.init n (fun j ->
+        acc := !acc + values.(j);
+        ((j + 1) * w, if total = 0 then 0. else fi !acc /. fi total))
+  in
+  {
+    label = r.label;
+    total_instrs;
+    total_breaks;
+    ipbc = (if total_breaks = 0 then fi total_instrs else fi total_instrs /. fi total_breaks);
+    miss_rate =
+      (if r.cond_execs = 0 then Float.nan else fi r.cond_misses /. fi r.cond_execs);
+    by_instructions = cum_of r.seq_sums total_instrs;
+    by_breaks = cum_of r.seq_counts total_breaks;
+  }
+
+let dividing_length d =
+  let rec go i =
+    if i >= Array.length d.by_instructions then
+      fst d.by_instructions.(Array.length d.by_instructions - 1)
+    else begin
+      let bound, frac = d.by_instructions.(i) in
+      if frac >= 0.5 then bound else go (i + 1)
+    end
+  in
+  go 0
+
+let fraction_below d len =
+  let rec go i prev =
+    if i >= Array.length d.by_instructions then prev
+    else begin
+      let bound, frac = d.by_instructions.(i) in
+      if bound > len then prev else go (i + 1) frac
+    end
+  in
+  go 0 0.
+
+let model ~miss_rate s = 1. -. ((1. -. miss_rate) ** float_of_int s)

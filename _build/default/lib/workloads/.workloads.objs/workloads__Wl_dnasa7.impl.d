@@ -1,0 +1,1 @@
+lib/workloads/wl_dnasa7.ml: Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_grep.ml: Workload

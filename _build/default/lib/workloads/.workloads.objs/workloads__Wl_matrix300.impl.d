@@ -1,0 +1,1 @@
+lib/workloads/wl_matrix300.ml: Workload

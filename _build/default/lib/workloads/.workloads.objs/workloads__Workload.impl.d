@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Format Hashtbl List Minic Mips Printf Sim

@@ -1,0 +1,139 @@
+(* Stand-in for addalg (an integer program solver): 0/1 knapsack by
+   branch-and-bound with a fractional upper bound, plus a dynamic
+   programming cross-check.  Recursion with pruning tests — integer
+   decision-heavy control flow. *)
+
+let source =
+  {|
+int weight[40];
+int value[40];
+int nitems = 0;
+int capacity = 0;
+int best = 0;
+int nodes = 0;
+
+/* items are pre-sorted by value density by a selection sort */
+void sort_by_density() {
+  int i;
+  int j;
+  for (i = 0; i < nitems; i++) {
+    int bestj = i;
+    for (j = i + 1; j < nitems; j++) {
+      /* compare v[j]/w[j] > v[bestj]/w[bestj] via cross products */
+      if (value[j] * weight[bestj] > value[bestj] * weight[j]) {
+        bestj = j;
+      }
+    }
+    if (bestj != i) {
+      int t = weight[i];
+      weight[i] = weight[bestj];
+      weight[bestj] = t;
+      t = value[i];
+      value[i] = value[bestj];
+      value[bestj] = t;
+    }
+  }
+}
+
+/* fractional (LP) bound from item i with remaining capacity */
+int bound(int i, int cap, int acc) {
+  int b = acc;
+  while (i < nitems && weight[i] <= cap) {
+    cap = cap - weight[i];
+    b = b + value[i];
+    i = i + 1;
+  }
+  if (i < nitems && weight[i] > 0) {
+    b = b + (value[i] * cap) / weight[i];
+  }
+  return b;
+}
+
+void branch(int i, int cap, int acc) {
+  nodes = nodes + 1;
+  if (acc > best) {
+    best = acc;
+  }
+  if (i >= nitems) {
+    return;
+  }
+  if (bound(i, cap, acc) <= best) {
+    return;                          /* prune */
+  }
+  if (weight[i] <= cap) {
+    branch(i + 1, cap - weight[i], acc + value[i]);
+  }
+  branch(i + 1, cap, acc);
+}
+
+int dp[3200];
+
+int knapsack_dp() {
+  int i;
+  int c;
+  for (c = 0; c <= capacity; c++) {
+    dp[c] = 0;
+  }
+  for (i = 0; i < nitems; i++) {
+    for (c = capacity; c >= weight[i]; c--) {
+      int with = dp[c - weight[i]] + value[i];
+      if (with > dp[c]) {
+        dp[c] = with;
+      }
+    }
+  }
+  return dp[capacity];
+}
+
+int main() {
+  int rounds;
+  int n;
+  int r;
+  int i;
+  int mismatches = 0;
+  rounds = read();
+  n = read();
+  if (n > 40) {
+    n = 40;
+  }
+  srand_(read());
+  for (r = 0; r < rounds; r++) {
+    int exact;
+    nitems = n;
+    capacity = 0;
+    for (i = 0; i < n; i++) {
+      weight[i] = 1 + (rand_() % 60);
+      value[i] = 1 + (rand_() % 100);
+      capacity = capacity + weight[i];
+    }
+    capacity = capacity / 3;
+    if (capacity > 3100) {
+      capacity = 3100;
+    }
+    sort_by_density();
+    best = 0;
+    nodes = 0;
+    branch(0, capacity, 0);
+    exact = knapsack_dp();
+    if (exact != best) {
+      mismatches = mismatches + 1;
+    }
+    print(best);
+  }
+  print(mismatches);
+  print(nodes);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~name:"addalg" ~description:"Integer program solver"
+    ~lang:Workload.C
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 70; 34; 6886 ] ~size:16
+          ~seed:131;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 50; 30; 9119 ] ~size:16
+          ~seed:132;
+      ]
+    source

@@ -1,0 +1,102 @@
+(* Stand-in for awk: a pattern scanner and processor.  Splits records
+   into fields, matches field patterns, and maintains associative
+   arrays (chained hash of heap cells) of counts and sums — the
+   classic awk 'word count plus filter' workload. *)
+
+let source =
+  {|
+struct assoc {
+  int key;
+  int count;
+  int sum;
+  struct assoc *next;
+};
+
+struct assoc *buckets[256];
+
+struct assoc *lookup(int key) {
+  int h = (key * 2654435) & 255;
+  struct assoc *p = buckets[h];
+  while (p != null) {
+    if (p->key == key) {
+      return p;
+    }
+    p = p->next;
+  }
+  p = (struct assoc *)alloc(sizeof(struct assoc));
+  p->key = key;
+  p->count = 0;
+  p->sum = 0;
+  p->next = buckets[h];
+  buckets[h] = p;
+  return p;
+}
+
+int record[32];
+int nfields = 0;
+
+void split_record(int vocab) {
+  int i;
+  nfields = 2 + (rand_() % 9);
+  for (i = 0; i < nfields; i++) {
+    int r = rand_();
+    record[i] = 1 + ((r % 23) * ((r >> 8) % 17)) % vocab;
+  }
+}
+
+int main() {
+  int nrecords;
+  int vocab;
+  int rec;
+  int i;
+  int selected = 0;
+  int total = 0;
+  nrecords = read();
+  vocab = read();
+  srand_(read());
+  for (i = 0; i < 256; i++) {
+    buckets[i] = null;
+  }
+  for (rec = 0; rec < nrecords; rec++) {
+    split_record(vocab);
+    /* pattern: $1 < 40 && NF > 4 { count[$2]++; sum[$2] += $3 } */
+    if (record[0] < 40 && nfields > 4) {
+      struct assoc *cell = lookup(record[1]);
+      cell->count = cell->count + 1;
+      cell->sum = cell->sum + record[2];
+      selected = selected + 1;
+    }
+    /* END-style accumulation over all fields */
+    for (i = 0; i < nfields; i++) {
+      if ((record[i] & 1) == 0) {
+        total = total + record[i];
+      }
+    }
+  }
+  /* report pass: walk every chain */
+  for (i = 0; i < 256; i++) {
+    struct assoc *p = buckets[i];
+    while (p != null) {
+      if (p->count > 2) {
+        total = total + p->sum;
+      }
+      p = p->next;
+    }
+  }
+  print(selected);
+  print(total);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~name:"awk" ~description:"Pattern scanner & processor"
+    ~lang:Workload.C
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 40000; 180; 4242 ]
+          ~size:16 ~seed:121;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 28000; 130; 5353 ]
+          ~size:16 ~seed:122;
+      ]
+    source

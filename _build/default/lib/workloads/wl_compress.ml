@@ -1,0 +1,176 @@
+(* Stand-in for SPEC89-adjacent compress: LZW compression over a
+   pseudo-random (but skewed) byte stream, followed by decompression
+   and a verification pass.  A hash table with linear probing, one hot
+   inner match loop, and loop-dominated control flow — the paper notes
+   compress is a benchmark where predicting the fall-through
+   outperforms predicting the target. *)
+
+let source =
+  {|
+int hkey[8192];    /* (prefix << 9) | byte, or -1 */
+int hval[8192];
+int dict_prefix[4096];
+int dict_byte[4096];
+int ncodes = 0;
+
+int inbuf[6000];
+int ninput = 0;
+int outbuf[6000];
+int noutput = 0;
+
+int dict_full_notices = 0;
+
+void notice_dict_full() {
+  dict_full_notices = dict_full_notices + 1;
+}
+
+int hash_find(int prefix, int byte) {
+  int key = (prefix << 9) | byte;
+  int h = (key * 2654435) & 8191;
+  while (hkey[h] != 0 - 1) {
+    if (hkey[h] == key) {
+      return hval[h];
+    }
+    h = (h + 1) & 8191;
+  }
+  return -1;
+}
+
+void hash_insert(int prefix, int byte, int code) {
+  int key = (prefix << 9) | byte;
+  int h = (key * 2654435) & 8191;
+  while (hkey[h] != 0 - 1) {
+    h = (h + 1) & 8191;
+  }
+  hkey[h] = key;
+  hval[h] = code;
+}
+
+void reset_dict() {
+  int i;
+  for (i = 0; i < 8192; i++) {
+    hkey[i] = -1;
+  }
+  for (i = 0; i < 256; i++) {
+    dict_prefix[i] = -1;
+    dict_byte[i] = i;
+  }
+  ncodes = 256;
+}
+
+void compress() {
+  int prefix;
+  int i;
+  int c;
+  int code;
+  noutput = 0;
+  prefix = inbuf[0];
+  for (i = 1; i < ninput; i++) {
+    c = inbuf[i];
+    code = hash_find(prefix, c);
+    if (code >= 0) {
+      prefix = code;
+    } else {
+      outbuf[noutput] = prefix;
+      noutput = noutput + 1;
+      if (ncodes < 4096) {
+        hash_insert(prefix, c, ncodes);
+        dict_prefix[ncodes] = prefix;
+        dict_byte[ncodes] = c;
+        ncodes = ncodes + 1;
+      } else {
+        notice_dict_full();
+      }
+      prefix = c;
+    }
+  }
+  outbuf[noutput] = prefix;
+  noutput = noutput + 1;
+}
+
+int expand_code(int code, int *dst, int pos) {
+  /* write the expansion of [code] ending at dst[pos-1]..; returns
+     number of bytes (walks the prefix chain twice: measure, emit) */
+  int n = 0;
+  int c = code;
+  int i;
+  while (c >= 0) {
+    n = n + 1;
+    c = dict_prefix[c];
+  }
+  c = code;
+  i = n;
+  while (c >= 0) {
+    i = i - 1;
+    dst[pos + i] = dict_byte[c];
+    c = dict_prefix[c];
+  }
+  return n;
+}
+
+int decomp_buf[8000];
+
+int decompress() {
+  int i;
+  int pos = 0;
+  for (i = 0; i < noutput; i++) {
+    pos = pos + expand_code(outbuf[i], decomp_buf, pos);
+  }
+  return pos;
+}
+
+int main() {
+  int n;
+  int rounds;
+  int r;
+  int i;
+  int errors = 0;
+  n = read();
+  rounds = read();
+  srand_(read());
+  for (r = 0; r < rounds; r++) {
+    /* skewed byte stream: low bytes dominate, with runs */
+    int run = 0;
+    int b = 0;
+    ninput = n;
+    for (i = 0; i < n; i++) {
+      if (run > 0) {
+        run = run - 1;
+      } else {
+        int x = rand_();
+        b = (x & 15) + ((x >> 6) & 3) * 16;
+        run = (x >> 10) & 7;
+      }
+      inbuf[i] = b & 255;
+    }
+    reset_dict();
+    compress();
+    print(noutput);
+    i = decompress();
+    if (i != ninput) {
+      errors = errors + 1;
+    }
+    for (i = 0; i < ninput; i++) {
+      if (decomp_buf[i] != inbuf[i]) {
+        errors = errors + 1;
+      }
+    }
+  }
+  print(errors);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~name:"compress" ~description:"LZW file compression utility"
+    ~lang:Workload.C
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 5000; 10; 424242 ]
+          ~size:16 ~seed:31;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 3000; 14; 777777 ]
+          ~size:16 ~seed:32;
+        Workload.seeded_dataset ~name:"alt2" ~params:[ 5800; 7; 131313 ]
+          ~size:16 ~seed:33;
+      ]
+    source

@@ -1,0 +1,136 @@
+(* Stand-in for congress (a Prolog-like language interpreter): a fact
+   database of triples, a unification routine over terms with
+   variables, and a backtracking query solver with a trail stack.
+   Irregular pointer- and array-based control flow with recursion. *)
+
+let source =
+  {|
+/* terms: positive = constant, negative = variable id -1..-NV */
+int fact_s[3000];
+int fact_p[3000];
+int fact_o[3000];
+int nfacts = 0;
+
+int binding[64];     /* variable bindings; 0 = unbound, else const+1 */
+int trail[256];
+int ntrail = 0;
+
+void add_fact(int s, int p, int o) {
+  if (nfacts < 3000) {
+    fact_s[nfacts] = s;
+    fact_p[nfacts] = p;
+    fact_o[nfacts] = o;
+    nfacts = nfacts + 1;
+  }
+}
+
+int deref(int t) {
+  while (t < 0) {
+    int b = binding[-t - 1];
+    if (b == 0) {
+      return t;
+    }
+    t = b - 1;
+  }
+  return t;
+}
+
+int unify(int a, int b) {
+  a = deref(a);
+  b = deref(b);
+  if (a == b) {
+    return 1;
+  }
+  if (a < 0) {
+    binding[-a - 1] = b + 1;
+    trail[ntrail] = -a - 1;
+    ntrail = ntrail + 1;
+    return 1;
+  }
+  if (b < 0) {
+    binding[-b - 1] = a + 1;
+    trail[ntrail] = -b - 1;
+    ntrail = ntrail + 1;
+    return 1;
+  }
+  return 0;
+}
+
+void undo_to(int mark) {
+  while (ntrail > mark) {
+    ntrail = ntrail - 1;
+    binding[trail[ntrail]] = 0;
+  }
+}
+
+/* query: find all facts matching (s, p, o); for each match, try a
+   chained second goal (o, p2, X).  Counts solutions. */
+int solve(int s, int p, int o, int p2, int depth) {
+  int i;
+  int count = 0;
+  for (i = 0; i < nfacts; i++) {
+    int mark = ntrail;
+    if (unify(s, fact_s[i]) != 0
+        && unify(p, fact_p[i]) != 0
+        && unify(o, fact_o[i]) != 0) {
+      if (depth <= 0) {
+        count = count + 1;
+      } else {
+        count = count + solve(deref(o), p2, -8, p2, depth - 1);
+      }
+    }
+    undo_to(mark);
+  }
+  return count;
+}
+
+int main() {
+  int nf;
+  int nq;
+  int q;
+  int total = 0;
+  int universe;
+  nf = read();
+  nq = read();
+  universe = read();
+  srand_(read());
+  for (q = 0; q < nf; q++) {
+    int s = rand_() % universe;
+    int p = rand_() % 12;
+    int o = rand_() % universe;
+    add_fact(s, p, o);
+  }
+  for (q = 0; q < nq; q++) {
+    int i;
+    int p = rand_() % 12;
+    int s;
+    for (i = 0; i < 64; i++) {
+      binding[i] = 0;
+    }
+    ntrail = 0;
+    s = rand_() % universe;
+    if ((q & 3) == 0) {
+      /* open query: variable subject */
+      total = total + solve(-1, p, -2, (p + 1) % 12, 1);
+    } else {
+      total = total + solve(s, p, -2, (p + 1) % 12, 1);
+    }
+  }
+  print(total);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~name:"congress"
+    ~description:"Interp. for Prolog-like lang." ~lang:Workload.C
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 900; 12; 60; 123 ]
+          ~size:16 ~seed:91;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 700; 16; 45; 456 ]
+          ~size:16 ~seed:92;
+        Workload.seeded_dataset ~name:"alt2" ~params:[ 1100; 10; 80; 789 ]
+          ~size:16 ~seed:93;
+      ]
+    source

@@ -1,0 +1,155 @@
+(* Stand-in for costScale (solve minimum cost flow): successive
+   shortest augmenting paths with Bellman-Ford label correction over a
+   random layered network.  Relaxation conditionals, path walk-back,
+   and residual-capacity updates. *)
+
+let source =
+  {|
+/* edge arrays; residual graph kept as paired edges (e, e^1) */
+int esrc[4200];
+int edst_[4200];
+int ecap[4200];
+float ecost[4200];
+int nedges = 0;
+int nnodes = 0;
+
+float dist[300];
+int parent_edge[300];
+
+void add_arc(int u, int v, int cap, float cost) {
+  esrc[nedges] = u;
+  edst_[nedges] = v;
+  ecap[nedges] = cap;
+  ecost[nedges] = cost;
+  nedges = nedges + 1;
+  esrc[nedges] = v;
+  edst_[nedges] = u;
+  ecap[nedges] = 0;
+  ecost[nedges] = -cost;
+  nedges = nedges + 1;
+}
+
+void build_network(int layers, int width) {
+  int l;
+  int i;
+  int j;
+  nnodes = layers * width + 2;
+  nedges = 0;
+  /* source = nnodes-2, sink = nnodes-1 */
+  for (i = 0; i < width; i++) {
+    add_arc(nnodes - 2, i, 2 + (rand_() % 4), 0.5 + 0.01 * (float)(rand_() % 50));
+  }
+  for (l = 0; l + 1 < layers; l++) {
+    for (i = 0; i < width; i++) {
+      for (j = 0; j < width; j++) {
+        if ((rand_() & 3) != 0) {
+          add_arc(l * width + i, (l + 1) * width + j,
+                  1 + (rand_() % 5),
+                  0.1 + 0.01 * (float)(rand_() % 90));
+        }
+      }
+    }
+  }
+  for (i = 0; i < width; i++) {
+    add_arc((layers - 1) * width + i, nnodes - 1, 2 + (rand_() % 4), 0.2);
+  }
+}
+
+/* Bellman-Ford over residual edges; returns 1 if sink reachable */
+int shortest_path() {
+  int i;
+  int e;
+  int changed = 1;
+  int rounds = 0;
+  for (i = 0; i < nnodes; i++) {
+    dist[i] = 1000000.0;
+    parent_edge[i] = -1;
+  }
+  dist[nnodes - 2] = 0.0;
+  while (changed != 0 && rounds < nnodes) {
+    changed = 0;
+    for (e = 0; e < nedges; e++) {
+      if (ecap[e] > 0) {
+        int u = esrc[e];
+        int v = edst_[e];
+        float nd = dist[u] + ecost[e];
+        if (nd < dist[v] - 0.0000001) {
+          dist[v] = nd;
+          parent_edge[v] = e;
+          changed = 1;
+        }
+      }
+    }
+    rounds = rounds + 1;
+  }
+  if (dist[nnodes - 1] < 999999.0) {
+    return 1;
+  }
+  return 0;
+}
+
+/* augment along parent chain; returns flow pushed */
+int augment() {
+  int v = nnodes - 1;
+  int bottleneck = 1000000;
+  int steps = 0;
+  while (v != nnodes - 2) {
+    int e = parent_edge[v];
+    if (e == -1 || steps > nnodes) {
+      return 0;
+    }
+    if (ecap[e] < bottleneck) {
+      bottleneck = ecap[e];
+    }
+    v = esrc[e];
+    steps = steps + 1;
+  }
+  v = nnodes - 1;
+  while (v != nnodes - 2) {
+    int e = parent_edge[v];
+    ecap[e] = ecap[e] - bottleneck;
+    ecap[e ^ 1] = ecap[e ^ 1] + bottleneck;
+    v = esrc[e];
+  }
+  return bottleneck;
+}
+
+int main() {
+  int layers;
+  int width;
+  int instances;
+  int inst;
+  int total_flow = 0;
+  int paths = 0;
+  layers = read();
+  width = read();
+  instances = read();
+  srand_(read());
+  for (inst = 0; inst < instances; inst++) {
+    build_network(layers, width);
+    while (shortest_path() != 0) {
+      int f = augment();
+      if (f == 0) {
+        break;
+      }
+      total_flow = total_flow + f;
+      paths = paths + 1;
+    }
+  }
+  print(total_flow);
+  print(paths);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~name:"costScale" ~description:"Solve minimum cost flow"
+    ~lang:Workload.F
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 7; 14; 2; 999 ] ~size:4
+          ~seed:221;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 5; 18; 2; 888 ] ~size:4
+          ~seed:222;
+      ]
+    source

@@ -1,0 +1,151 @@
+(* Stand-in for dcg: conjugate gradient on a sparse SPD system (a 2D
+   grid Laplacian in CSR form).  Sparse mat-vec, dot products, axpy
+   updates, and a convergence test per iteration. *)
+
+let source =
+  {|
+/* CSR for a g x g grid Laplacian: at most 5 entries per row */
+int rowptr[1700];
+int colidx[8500];
+float aval[8500];
+float bv[1700];
+float xv[1700];
+float rv[1700];
+float pv[1700];
+float apv[1700];
+int nrows = 0;
+
+void build_laplacian(int g) {
+  int i;
+  int j;
+  int nnz = 0;
+  nrows = g * g;
+  for (i = 0; i < g; i++) {
+    for (j = 0; j < g; j++) {
+      int row = i * g + j;
+      rowptr[row] = nnz;
+      if (i > 0) {
+        colidx[nnz] = row - g;
+        aval[nnz] = -1.0;
+        nnz = nnz + 1;
+      }
+      if (j > 0) {
+        colidx[nnz] = row - 1;
+        aval[nnz] = -1.0;
+        nnz = nnz + 1;
+      }
+      colidx[nnz] = row;
+      aval[nnz] = 4.2;
+      nnz = nnz + 1;
+      if (j < g - 1) {
+        colidx[nnz] = row + 1;
+        aval[nnz] = -1.0;
+        nnz = nnz + 1;
+      }
+      if (i < g - 1) {
+        colidx[nnz] = row + g;
+        aval[nnz] = -1.0;
+        nnz = nnz + 1;
+      }
+    }
+  }
+  rowptr[nrows] = nnz;
+}
+
+void spmv(float *dst, float *src) {
+  int i;
+  for (i = 0; i < nrows; i++) {
+    float s = 0.0;
+    int k;
+    int end = rowptr[i + 1];
+    for (k = rowptr[i]; k < end; k++) {
+      s = s + aval[k] * src[colidx[k]];
+    }
+    dst[i] = s;
+  }
+}
+
+float dot(float *u, float *v) {
+  int i;
+  float s = 0.0;
+  for (i = 0; i < nrows; i++) {
+    s = s + u[i] * v[i];
+  }
+  return s;
+}
+
+int cg(int maxit, float tol) {
+  int it;
+  float rr;
+  int i;
+  for (i = 0; i < nrows; i++) {
+    xv[i] = 0.0;
+    rv[i] = bv[i];
+    pv[i] = bv[i];
+  }
+  rr = dot(rv, rv);
+  for (it = 0; it < maxit; it++) {
+    float alpha;
+    float pap;
+    float rr2;
+    float beta;
+    if (rr < tol) {
+      return it;
+    }
+    spmv(apv, pv);
+    pap = dot(pv, apv);
+    if (pap <= 0.0) {
+      return it;
+    }
+    alpha = rr / pap;
+    for (i = 0; i < nrows; i++) {
+      xv[i] = xv[i] + alpha * pv[i];
+      rv[i] = rv[i] - alpha * apv[i];
+    }
+    rr2 = dot(rv, rv);
+    beta = rr2 / rr;
+    rr = rr2;
+    for (i = 0; i < nrows; i++) {
+      pv[i] = rv[i] + beta * pv[i];
+    }
+  }
+  return maxit;
+}
+
+int main() {
+  int g;
+  int systems;
+  int s;
+  int iters = 0;
+  int i;
+  g = read();
+  systems = read();
+  if (g > 41) {
+    g = 41;
+  }
+  build_laplacian(g);
+  for (s = 0; s < systems; s++) {
+    for (i = 0; i < nrows; i++) {
+      bv[i] = 1.0 + 0.01 * (float)((i * (s + 3)) % 17);
+    }
+    iters = iters + cg(220, 0.0000001);
+  }
+  print(iters);
+  print(xv[nrows / 2] * 1000.0);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~name:"dcg" ~description:"Conjugate gradient"
+    ~lang:Workload.F
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 38; 3 ] ~size:4
+          ~seed:181;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 28; 5 ] ~size:4
+          ~seed:182;
+        Workload.seeded_dataset ~name:"alt2" ~params:[ 20; 10 ] ~size:4
+          ~seed:183;
+      ]
+    source

@@ -1,0 +1,161 @@
+(* Stand-in for SPEC89 dnasa7 (the NASA7 kernels): seven floating
+   point kernels run in sequence — matrix multiply, a 2D stencil, a
+   tridiagonal solve, an FFT-like butterfly pass, Cholesky-ish column
+   updates, a gather/scatter pass, and vortex-ish updates.  Almost
+   entirely loop branches (the paper reports 10% non-loop). *)
+
+let source =
+  {|
+float va[4096];
+float vb[4096];
+float vc[4096];
+int n = 0;
+
+void init_vec() {
+  int i;
+  for (i = 0; i < 4096; i++) {
+    float f = (float)i;
+    va[i] = 0.001 * f + 0.3;
+    vb[i] = 0.002 * f - 0.7;
+    vc[i] = 0.0;
+  }
+}
+
+/* kernel 1: 32x32 matrix multiply (mxm) */
+float k_mxm() {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < 32; i++) {
+    for (j = 0; j < 32; j++) {
+      float s = 0.0;
+      for (k = 0; k < 32; k++) {
+        s = s + va[i * 32 + k] * vb[k * 32 + j];
+      }
+      vc[i * 32 + j] = s;
+    }
+  }
+  return vc[33];
+}
+
+/* kernel 2: 2D stencil (cfft2d-ish data motion) */
+float k_stencil() {
+  int i;
+  int j;
+  for (i = 1; i < 63; i++) {
+    for (j = 1; j < 63; j++) {
+      vc[i * 64 + j] =
+          0.2 * (va[i * 64 + j] + va[i * 64 + j - 1] + va[i * 64 + j + 1]
+                 + va[(i - 1) * 64 + j] + va[(i + 1) * 64 + j]);
+    }
+  }
+  return vc[65];
+}
+
+/* kernel 3: tridiagonal solve (gmtry-ish) */
+float k_tridiag() {
+  int i;
+  int m = 2000;
+  vb[0] = 2.0;
+  vc[0] = va[0] / vb[0];
+  for (i = 1; i < m; i++) {
+    vb[i] = 2.0 - 0.25 / vb[i - 1];
+    vc[i] = (va[i] + 0.5 * vc[i - 1]) / vb[i];
+  }
+  for (i = m - 2; i >= 0; i--) {
+    vc[i] = vc[i] + 0.5 * vc[i + 1] / vb[i];
+  }
+  return vc[7];
+}
+
+/* kernel 4: butterfly passes (cfft-ish) */
+float k_butterfly() {
+  int span = 1;
+  int i;
+  while (span < 2048) {
+    for (i = 0; i + span < 4096; i = i + 2 * span) {
+      float u = va[i];
+      float w = va[i + span];
+      va[i] = (u + w) * 0.7071;
+      va[i + span] = (u - w) * 0.7071;
+    }
+    span = span * 2;
+  }
+  return va[1024];
+}
+
+/* kernel 5: Cholesky-style column update */
+float k_chol() {
+  int j;
+  int k;
+  for (j = 0; j < 60; j++) {
+    float d = vb[j * 60 + j];
+    if (d < 0.001) {
+      d = 0.001;
+    }
+    for (k = j + 1; k < 60; k++) {
+      vb[k * 60 + j] = vb[k * 60 + j] / d;
+    }
+  }
+  return vb[61];
+}
+
+/* kernel 6: gather/scatter (vpenta-ish irregular access) */
+float k_gather() {
+  int i;
+  float s = 0.0;
+  for (i = 0; i < 4000; i++) {
+    int idx = (i * 37) & 4095;
+    s = s + va[idx] * 0.001;
+    vc[idx] = s;
+  }
+  return s;
+}
+
+/* kernel 7: vortex updates with a stability clamp */
+float k_vortex() {
+  int i;
+  for (i = 0; i < 4000; i++) {
+    vb[i] = vb[i] + 0.1 * (va[i] - vb[i]) * vc[i & 1023];
+    if (vb[i] > 10.0) {
+      vb[i] = 10.0;
+    }
+    if (vb[i] < -10.0) {
+      vb[i] = -10.0;
+    }
+  }
+  return vb[2001];
+}
+
+int main() {
+  int rounds;
+  int r;
+  float acc = 0.0;
+  n = read();
+  rounds = read();
+  init_vec();
+  for (r = 0; r < rounds; r++) {
+    acc = acc + k_mxm();
+    acc = acc + k_stencil();
+    acc = acc + k_tridiag();
+    acc = acc + k_butterfly();
+    acc = acc + k_chol();
+    acc = acc + k_gather();
+    acc = acc + k_vortex();
+  }
+  print(acc);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~spec:true ~name:"dnasa7"
+    ~description:"Floating point kernels" ~lang:Workload.F
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 4096; 22 ] ~size:4
+          ~seed:231;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 4096; 36 ] ~size:4
+          ~seed:232;
+      ]
+    source

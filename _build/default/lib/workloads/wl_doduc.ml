@@ -1,0 +1,155 @@
+(* Stand-in for SPEC89 doduc: Monte Carlo hydrocode simulation.  Many
+   small loops with conditional control flow inside: equation-of-state
+   region selection (if-chains over value ranges), table interpolation
+   with a binary search, clamping, and per-cell sub-iteration until
+   local convergence.  The paper notes doduc executes many distinct
+   branches, each contributing little. *)
+
+let source =
+  {|
+float table_x[128];
+float table_y[128];
+int table_n = 0;
+
+float density[2000];
+float energy[2000];
+float pressure[2000];
+float velocity[2000];
+int ncells = 0;
+
+void build_table() {
+  int i;
+  table_n = 128;
+  for (i = 0; i < 128; i++) {
+    float f = (float)i;
+    table_x[i] = f * 0.08;
+    table_y[i] = 1.0 + 0.3 * f - 0.001 * f * f;
+  }
+}
+
+/* binary search + linear interpolation */
+float interp(float v) {
+  int lo = 0;
+  int hi = table_n - 1;
+  float t;
+  if (v <= table_x[0]) {
+    return table_y[0];
+  }
+  if (v >= table_x[table_n - 1]) {
+    return table_y[table_n - 1];
+  }
+  while (hi - lo > 1) {
+    int mid = (lo + hi) / 2;
+    if (table_x[mid] <= v) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  t = (v - table_x[lo]) / (table_x[hi] - table_x[lo]);
+  return table_y[lo] + t * (table_y[hi] - table_y[lo]);
+}
+
+/* equation of state: regions by density */
+float eos(float rho, float e) {
+  if (rho < 0.1) {
+    return 0.4 * rho * e;
+  }
+  if (rho < 1.0) {
+    return rho * e * (0.4 + 0.1 * rho);
+  }
+  if (rho < 3.0) {
+    return rho * e * 0.5 + interp(rho) * 0.01;
+  }
+  return rho * e * 0.55 + 0.3 * (rho - 3.0);
+}
+
+void init_cells(int n) {
+  int i;
+  ncells = n;
+  for (i = 0; i < n; i++) {
+    int r = rand_();
+    density[i] = 0.05 + 0.002 * (float)(r & 2047);
+    energy[i] = 0.5 + 0.001 * (float)((r >> 6) & 1023);
+    velocity[i] = 0.01 * (float)((r >> 11) & 63) - 0.3;
+    pressure[i] = 0.0;
+  }
+}
+
+int step_cell(int i, float dt) {
+  int sub = 0;
+  float p_old = pressure[i];
+  float p_new = eos(density[i], energy[i]);
+  /* local sub-iteration until the cell's pressure settles */
+  while (fabs(p_new - p_old) > 0.0001 && sub < 12) {
+    p_old = p_new;
+    energy[i] = energy[i] - dt * p_new * velocity[i];
+    if (energy[i] < 0.01) {
+      energy[i] = 0.01;
+    }
+    p_new = eos(density[i], energy[i]);
+    sub = sub + 1;
+  }
+  pressure[i] = p_new;
+  /* advect density, clamp at vacuum and at compaction limit */
+  density[i] = density[i] * (1.0 - dt * velocity[i]);
+  if (density[i] < 0.01) {
+    density[i] = 0.01;
+  }
+  if (density[i] > 5.0) {
+    density[i] = 5.0;
+  }
+  /* velocity update with drag in dense regions */
+  if (density[i] > 2.0) {
+    velocity[i] = velocity[i] * 0.98;
+  } else {
+    velocity[i] = velocity[i] + dt * (pressure[i] - 0.8);
+  }
+  if (velocity[i] > 1.0) {
+    velocity[i] = 1.0;
+  }
+  if (velocity[i] < -1.0) {
+    velocity[i] = -1.0;
+  }
+  return sub;
+}
+
+int main() {
+  int n;
+  int steps;
+  int t;
+  int i;
+  int total_sub = 0;
+  float dt = 0.01;
+  n = read();
+  steps = read();
+  srand_(read());
+  if (n > 2000) {
+    n = 2000;
+  }
+  build_table();
+  init_cells(n);
+  for (t = 0; t < steps; t++) {
+    for (i = 0; i < n; i++) {
+      total_sub = total_sub + step_cell(i, dt);
+    }
+  }
+  print(total_sub);
+  print(pressure[n / 2] * 1000.0);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~spec:true ~traced:true ~name:"doduc"
+    ~description:"Hydrocode simulation" ~lang:Workload.F
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 1500; 14; 31007 ]
+          ~size:4 ~seed:201;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 1000; 24; 40009 ]
+          ~size:4 ~seed:202;
+        Workload.seeded_dataset ~name:"alt2" ~params:[ 1900; 10; 50021 ]
+          ~size:4 ~seed:203;
+      ]
+    source

@@ -1,0 +1,171 @@
+(* Stand-in for SPEC89 eqntott: convert boolean equations to a truth
+   table.  Evaluates an expression bytecode over every input
+   assignment, then sorts the table with a bit-vector comparison
+   routine — eqntott's famous profile is exactly such a compare
+   (a couple of branches dominate everything). *)
+
+let source =
+  {|
+/* postfix bytecode: 0..15 push input bit k; 100 NOT, 101 AND, 102 OR, 103 XOR */
+int prog_[400];
+int nprog = 0;
+int stack[256];
+
+int table[17000];   /* packed rows: (inputs << 1) | output */
+int nrows = 0;
+int tmp[17000];
+
+void gen_program(int nops, int nin) {
+  int i;
+  int depth = 0;
+  nprog = 0;
+  for (i = 0; i < nops; i++) {
+    int r = rand_();
+    if (depth < 2 || ((r & 3) == 0 && depth < 200)) {
+      prog_[nprog] = r % nin;
+      depth = depth + 1;
+    } else {
+      int op = 100 + (r % 4);
+      if (op == 100) {
+        prog_[nprog] = 100;
+      } else {
+        prog_[nprog] = op;
+        depth = depth - 1;
+      }
+    }
+    nprog = nprog + 1;
+  }
+  /* fold any leftovers into a single result */
+  while (depth > 1) {
+    prog_[nprog] = 101;
+    nprog = nprog + 1;
+    depth = depth - 1;
+  }
+}
+
+int eval_assignment(int bits) {
+  int sp = 0;
+  int pc;
+  for (pc = 0; pc < nprog; pc++) {
+    int op = prog_[pc];
+    if (op < 100) {
+      stack[sp] = (bits >> op) & 1;
+      sp = sp + 1;
+    } else {
+      if (op == 100) {
+        stack[sp - 1] = 1 - stack[sp - 1];
+      } else {
+        int b = stack[sp - 1];
+        int a = stack[sp - 2];
+        sp = sp - 1;
+        if (op == 101) {
+          stack[sp - 1] = a & b;
+        } else {
+          if (op == 102) {
+            stack[sp - 1] = a | b;
+          } else {
+            stack[sp - 1] = a ^ b;
+          }
+        }
+      }
+    }
+  }
+  return stack[0];
+}
+
+/* eqntott's cmppt: compare rows as bit vectors (hot!) */
+int cmp_rows(int a, int b) {
+  int i;
+  for (i = 16; i >= 0; i--) {
+    int ba = (a >> i) & 1;
+    int bb = (b >> i) & 1;
+    if (ba < bb) {
+      return -1;
+    }
+    if (ba > bb) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/* bottom-up merge sort using cmp_rows */
+void merge_sort(int n) {
+  int width = 1;
+  while (width < n) {
+    int lo = 0;
+    while (lo < n) {
+      int mid = imin(lo + width, n);
+      int hi = imin(lo + 2 * width, n);
+      int i = lo;
+      int j = mid;
+      int k = lo;
+      while (i < mid && j < hi) {
+        if (cmp_rows(table[i], table[j]) <= 0) {
+          tmp[k] = table[i];
+          i = i + 1;
+        } else {
+          tmp[k] = table[j];
+          j = j + 1;
+        }
+        k = k + 1;
+      }
+      while (i < mid) {
+        tmp[k] = table[i];
+        i = i + 1;
+        k = k + 1;
+      }
+      while (j < hi) {
+        tmp[k] = table[j];
+        j = j + 1;
+        k = k + 1;
+      }
+      for (i = lo; i < hi; i++) {
+        table[i] = tmp[i];
+      }
+      lo = lo + 2 * width;
+    }
+    width = 2 * width;
+  }
+}
+
+int main() {
+  int nin;
+  int nops;
+  int neq;
+  int e;
+  int ones = 0;
+  nin = read();
+  nops = read();
+  neq = read();
+  srand_(read());
+  for (e = 0; e < neq; e++) {
+    int bits;
+    int n = 1 << nin;
+    gen_program(nops, nin);
+    nrows = 0;
+    for (bits = 0; bits < n; bits++) {
+      int out = eval_assignment(bits);
+      table[nrows] = (bits << 1) | out;
+      nrows = nrows + 1;
+      ones = ones + out;
+    }
+    merge_sort(nrows);
+  }
+  print(ones);
+  print(table[nrows / 2]);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~spec:true ~name:"eqntott"
+    ~description:"Boolean eqns. to truth table" ~lang:Workload.C
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 11; 90; 2; 13579 ]
+          ~size:16 ~seed:81;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 11; 140; 3; 24680 ]
+          ~size:16 ~seed:82;
+      ]
+    source

@@ -1,0 +1,151 @@
+(* Stand-in for SPEC89 espresso: two-level logic (PLA) minimisation
+   over cubes represented as pairs of bitmasks.  Containment checks,
+   distance-1 merging, and cover reduction — bit manipulation inside
+   nested scans with data-dependent branches. *)
+
+let source =
+  {|
+/* a cube is (care mask, value mask) over 24 inputs */
+int care[3000];
+int value[3000];
+int alive[3000];
+int ncubes = 0;
+
+void random_cover(int n, int nbits) {
+  int i;
+  int full = (1 << nbits) - 1;
+  ncubes = n;
+  for (i = 0; i < n; i++) {
+    int r = rand_();
+    int c = r & full;
+    /* bias towards fairly specific cubes */
+    c = c | ((rand_() & full) >> 1);
+    care[i] = c;
+    value[i] = rand_() & c;
+    alive[i] = 1;
+  }
+}
+
+int degenerate = 0;
+
+void warn_degenerate(int i) {
+  degenerate = degenerate + i;
+}
+
+/* does cube i contain cube j?  (i less specific, agreeing values) */
+int contains(int i, int j) {
+  if ((care[i] & care[j]) != care[i]) {
+    return 0;
+  }
+  if ((value[j] & care[i]) != value[i]) {
+    return 0;
+  }
+  return 1;
+}
+
+int popcount(int x) {
+  int n = 0;
+  while (x != 0) {
+    x = x & (x - 1);
+    n = n + 1;
+  }
+  return n;
+}
+
+/* remove cubes contained in another cube */
+int irredundant() {
+  int i;
+  int j;
+  int removed = 0;
+  for (i = 0; i < ncubes; i++) {
+    if (alive[i] != 0) {
+      for (j = 0; j < ncubes; j++) {
+        if (j != i && alive[j] != 0 && alive[i] != 0) {
+          if (contains(j, i) != 0) {
+            alive[i] = 0;
+            removed = removed + 1;
+          }
+        }
+      }
+    }
+  }
+  return removed;
+}
+
+/* merge distance-1 cube pairs: same care set, values differ in 1 bit */
+int merge_pass() {
+  int i;
+  int j;
+  int merged = 0;
+  for (i = 0; i < ncubes; i++) {
+    if (alive[i] == 0) {
+      continue;
+    }
+    for (j = i + 1; j < ncubes; j++) {
+      if (alive[j] == 0) {
+        continue;
+      }
+      if (care[i] == care[j]) {
+        int diff = (value[i] ^ value[j]) & care[i];
+        if (popcount(diff) == 1) {
+          care[i] = care[i] & ~diff;
+          value[i] = value[i] & care[i];
+          alive[j] = 0;
+          merged = merged + 1;
+          if (care[i] == 0) {
+            warn_degenerate(i);
+          }
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+int cover_cost() {
+  int i;
+  int cost = 0;
+  for (i = 0; i < ncubes; i++) {
+    if (alive[i] != 0) {
+      cost = cost + popcount(care[i]) + 1;
+    }
+  }
+  return cost;
+}
+
+int main() {
+  int rounds;
+  int n;
+  int nbits;
+  int r;
+  int total = 0;
+  rounds = read();
+  n = read();
+  nbits = read();
+  srand_(read());
+  for (r = 0; r < rounds; r++) {
+    random_cover(n, nbits);
+    while (merge_pass() > 0) {
+      total = total + irredundant();
+    }
+    total = total + irredundant();
+    total = total + cover_cost();
+  }
+  print(total);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~spec:true ~name:"espresso" ~description:"PLA minimization"
+    ~lang:Workload.C
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 4; 230; 14; 808 ]
+          ~size:16 ~seed:71;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 3; 280; 12; 909 ]
+          ~size:16 ~seed:72;
+        Workload.seeded_dataset ~name:"alt2" ~params:[ 5; 180; 16; 303 ]
+          ~size:16 ~seed:73;
+      ]
+    source

@@ -1,0 +1,96 @@
+(* Stand-in for SPEC89 fpppp: two-electron integral derivatives.
+   Dominated by enormous straight-line floating-point basic blocks
+   (unrolled polynomial/Gaussian kernels) inside modest loops — 86% of
+   the few branches are non-loop, basic blocks are huge, and perfect
+   prediction yields very long instruction sequences. *)
+
+let source =
+  {|
+float fx[4096];
+float fy[4096];
+float out[4096];
+int n = 0;
+
+void init_data() {
+  int i;
+  for (i = 0; i < n; i++) {
+    float f = (float)i;
+    fx[i] = 0.0002 * f + 0.1;
+    fy[i] = 0.00015 * f - 0.05;
+  }
+}
+
+/* one "integral block": a long unrolled FP expression chain,
+   mimicking fpppp's giant basic blocks */
+float integral_block(float x, float y) {
+  float t1 = x * y + 0.5;
+  float t2 = x * x - y * y;
+  float t3 = t1 * t2 + x;
+  float t4 = t3 * 0.3333333 + t1 * t1;
+  float t5 = t4 * t2 - t3 * 0.25;
+  float t6 = t5 + t4 * t1 - x * 0.125;
+  float t7 = t6 * t6 + t5 * 0.0625;
+  float t8 = t7 - t6 * t4 + y;
+  float t9 = t8 * 0.2 + t7 * t1;
+  float t10 = t9 * t2 - t8 * 0.1;
+  float t11 = t10 + t9 * 0.05 - t7;
+  float t12 = t11 * t11 + t10 * t3;
+  float t13 = t12 * 0.025 - t11 * t5;
+  float t14 = t13 + t12 * 0.0125 + t6;
+  float t15 = t14 * t1 - t13 * t2;
+  float t16 = t15 + t14 * 0.004 - t9;
+  float t17 = t16 * t16 + t15 * 0.002;
+  float t18 = t17 - t16 * t10 + t11;
+  float t19 = t18 * 0.001 + t17 * t4;
+  float t20 = t19 * t2 - t18 * 0.0005;
+  return t20 + t19 * t15 - t12;
+}
+
+float deriv_block(float x, float y, float h) {
+  float a = integral_block(x + h, y);
+  float b = integral_block(x - h, y);
+  float c = integral_block(x, y + h);
+  float d = integral_block(x, y - h);
+  float gx = (a - b) / (2.0 * h);
+  float gy = (c - d) / (2.0 * h);
+  return gx * gx + gy * gy;
+}
+
+int main() {
+  int sweeps;
+  int s;
+  int i;
+  float acc = 0.0;
+  n = read();
+  sweeps = read();
+  if (n > 4096) {
+    n = 4096;
+  }
+  init_data();
+  for (s = 0; s < sweeps; s++) {
+    for (i = 0; i < n; i++) {
+      out[i] = deriv_block(fx[i], fy[i], 0.001);
+      /* rare renormalisation branch */
+      if (out[i] > 1000000.0) {
+        out[i] = out[i] * 0.000001;
+      }
+      acc = acc + out[i] * 0.0001;
+    }
+  }
+  print(acc);
+  print(out[n / 3]);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~spec:true ~traced:true ~name:"fpppp"
+    ~description:"Two-electron integral deriv." ~lang:Workload.F
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 3600; 14 ] ~size:4
+          ~seed:211;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 2400; 24 ] ~size:4
+          ~seed:212;
+      ]
+    source

@@ -1,0 +1,360 @@
+(* Stand-in for SPEC89 gcc: a miniature optimising compiler.  It
+   generates a random token stream, parses it with a recursive-descent
+   parser into a heap AST, constant-folds the tree, and emits code
+   through a linear-search symbol table.  Deep recursion, dense
+   conditional control flow, and pointer manipulation throughout. *)
+
+let source =
+  {|
+/* token kinds */
+int toks[12000];
+int tvals[12000];
+int ntoks = 0;
+int tpos = 0;
+
+struct ast {
+  int kind;        /* 0 num, 1 var, 2 add, 3 sub, 4 mul, 5 assign,
+                      6 seq, 7 if, 8 while */
+  int val;
+  struct ast *l;
+  struct ast *r;
+};
+
+void emit_tok(int k, int v) {
+  if (ntoks < 12000) {
+    toks[ntoks] = k;
+    tvals[ntoks] = v;
+    ntoks = ntoks + 1;
+  }
+}
+
+/* Random program generator: statements over 16 variables.
+   tokens: 0 num, 1 ident, 2 +, 3 -, 4 *, 5 (, 6 ), 7 =, 8 ;,
+   9 if, 10 while, 11 {, 12 }, 13 eof */
+void gen_expr(int depth) {
+  int r = rand_();
+  if (depth <= 0 || (r & 3) == 0) {
+    if ((r & 4) != 0) {
+      emit_tok(0, r & 255);
+    } else {
+      emit_tok(1, (r >> 4) & 15);
+    }
+    return;
+  }
+  if ((r & 16) != 0) {
+    emit_tok(5, 0);
+    gen_expr(depth - 1);
+    if ((r & 32) != 0) {
+      emit_tok(2, 0);
+    } else {
+      if ((r & 64) != 0) {
+        emit_tok(3, 0);
+      } else {
+        emit_tok(4, 0);
+      }
+    }
+    gen_expr(depth - 1);
+    emit_tok(6, 0);
+  } else {
+    gen_expr(0);
+    emit_tok(2, 0);
+    gen_expr(depth - 1);
+  }
+}
+
+void gen_stmt(int depth) {
+  int r = rand_();
+  int k = r % 10;
+  if (depth <= 0 || k < 6) {
+    emit_tok(1, (r >> 8) & 15);
+    emit_tok(7, 0);
+    gen_expr(2);
+    emit_tok(8, 0);
+    return;
+  }
+  if (k < 8) {
+    emit_tok(9, 0);
+    emit_tok(5, 0);
+    gen_expr(1);
+    emit_tok(6, 0);
+    emit_tok(11, 0);
+    gen_stmt(depth - 1);
+    gen_stmt(depth - 1);
+    emit_tok(12, 0);
+    return;
+  }
+  emit_tok(10, 0);
+  emit_tok(5, 0);
+  gen_expr(1);
+  emit_tok(6, 0);
+  emit_tok(11, 0);
+  gen_stmt(depth - 1);
+  emit_tok(12, 0);
+}
+
+/* ---- error handling: rare, call-avoiding branches ---- */
+
+int nerrors = 0;
+
+void syntax_error(int code) {
+  nerrors = nerrors + 1;
+  print(code);
+}
+
+
+struct ast *node(int kind, int val, struct ast *l, struct ast *r) {
+  struct ast *n = (struct ast *)alloc(sizeof(struct ast));
+  n->kind = kind;
+  n->val = val;
+  n->l = l;
+  n->r = r;
+  return n;
+}
+
+int cur_kind() {
+  if (tpos >= ntoks) {
+    return 13;
+  }
+  return toks[tpos];
+}
+
+int cur_val() {
+  if (tpos >= ntoks) {
+    return 0;
+  }
+  return tvals[tpos];
+}
+
+/* (forward references between functions need no prototypes: the
+   checker collects all signatures before checking bodies) */
+
+struct ast *parse_factor() {
+  int k = cur_kind();
+  int v = cur_val();
+  struct ast *e;
+  if (k == 0) {
+    tpos = tpos + 1;
+    return node(0, v, null, null);
+  }
+  if (k == 1) {
+    tpos = tpos + 1;
+    return node(1, v, null, null);
+  }
+  if (k == 5) {
+    tpos = tpos + 1;
+    e = parse_expr();
+    if (cur_kind() == 6) {
+      tpos = tpos + 1;
+    } else {
+      syntax_error(6);
+    }
+    return e;
+  }
+  syntax_error(k);
+  tpos = tpos + 1;
+  return node(0, 0, null, null);
+}
+
+struct ast *parse_term() {
+  struct ast *l = parse_factor();
+  while (cur_kind() == 4) {
+    tpos = tpos + 1;
+    l = node(4, 0, l, parse_factor());
+  }
+  return l;
+}
+
+struct ast *parse_expr() {
+  struct ast *l = parse_term();
+  int k = cur_kind();
+  while (k == 2 || k == 3) {
+    tpos = tpos + 1;
+    if (k == 2) {
+      l = node(2, 0, l, parse_term());
+    } else {
+      l = node(3, 0, l, parse_term());
+    }
+    k = cur_kind();
+  }
+  return l;
+}
+
+struct ast *parse_stmt() {
+  int k = cur_kind();
+  struct ast *c;
+  struct ast *body;
+  struct ast *rest;
+  if (k == 9 || k == 10) {
+    tpos = tpos + 1;          /* if / while */
+    tpos = tpos + 1;          /* ( */
+    c = parse_expr();
+    if (cur_kind() == 6) {
+      tpos = tpos + 1;
+    }
+    tpos = tpos + 1;          /* { */
+    body = null;
+    while (cur_kind() != 12 && cur_kind() != 13) {
+      rest = parse_stmt();
+      if (body == null) {
+        body = rest;
+      } else {
+        body = node(6, 0, body, rest);
+      }
+    }
+    tpos = tpos + 1;          /* } */
+    if (k == 9) {
+      return node(7, 0, c, body);
+    }
+    return node(8, 0, c, body);
+  }
+  if (k == 1) {
+    int v = cur_val();
+    tpos = tpos + 1;          /* ident */
+    tpos = tpos + 1;          /* = */
+    c = parse_expr();
+    if (cur_kind() == 8) {
+      tpos = tpos + 1;
+    } else {
+      syntax_error(8);
+    }
+    return node(5, v, null, c);
+  }
+  tpos = tpos + 1;
+  return node(0, 0, null, null);
+}
+
+/* ---- constant folding ---- */
+
+struct ast *fold(struct ast *e) {
+  if (e == null) {
+    return null;
+  }
+  e->l = fold(e->l);
+  e->r = fold(e->r);
+  if (e->kind >= 2 && e->kind <= 4) {
+    if (e->l != null && e->r != null && e->l->kind == 0 && e->r->kind == 0) {
+      int a = e->l->val;
+      int b = e->r->val;
+      if (e->kind == 2) {
+        return node(0, a + b, null, null);
+      }
+      if (e->kind == 3) {
+        return node(0, a - b, null, null);
+      }
+      return node(0, (a * b) & 0xFFFF, null, null);
+    }
+    /* x*0 and x*1 simplification */
+    if (e->kind == 4 && e->r != null && e->r->kind == 0) {
+      if (e->r->val == 0) {
+        return node(0, 0, null, null);
+      }
+      if (e->r->val == 1) {
+        return e->l;
+      }
+    }
+  }
+  return e;
+}
+
+/* ---- code emission ---- */
+
+int symtab[16];
+int nregs = 0;
+int nemit = 0;
+
+int reg_of(int var) {
+  if (symtab[var] == 0) {
+    nregs = nregs + 1;
+    symtab[var] = nregs;
+  }
+  return symtab[var];
+}
+
+int emit(struct ast *e) {
+  int a;
+  int b;
+  if (e == null) {
+    return 0;
+  }
+  if (e->kind == 0) {
+    nemit = nemit + 1;
+    return nregs + 100;
+  }
+  if (e->kind == 1) {
+    return reg_of(e->val);
+  }
+  if (e->kind == 5) {
+    b = emit(e->r);
+    nemit = nemit + 1;
+    return reg_of(e->val);
+  }
+  if (e->kind == 6) {
+    a = emit(e->l);
+    return emit(e->r);
+  }
+  if (e->kind == 7 || e->kind == 8) {
+    a = emit(e->l);
+    nemit = nemit + 2;
+    b = emit(e->r);
+    nemit = nemit + 1;
+    return 0;
+  }
+  a = emit(e->l);
+  b = emit(e->r);
+  nemit = nemit + 1;
+  return a + b;
+}
+
+int main() {
+  int nfun;
+  int size;
+  int f;
+  int total = 0;
+  nfun = read();
+  size = read();
+  srand_(read());
+  for (f = 0; f < nfun; f++) {
+    int i;
+    struct ast *prog = null;
+    struct ast *s;
+    ntoks = 0;
+    tpos = 0;
+    for (i = 0; i < size; i++) {
+      gen_stmt(3);
+    }
+    emit_tok(13, 0);
+    while (cur_kind() != 13) {
+      s = parse_stmt();
+      if (prog == null) {
+        prog = s;
+      } else {
+        prog = node(6, 0, prog, s);
+      }
+    }
+    prog = fold(prog);
+    for (i = 0; i < 16; i++) {
+      symtab[i] = 0;
+    }
+    nregs = 0;
+    total = total + emit(prog);
+  }
+  print(total);
+  print(nemit);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~spec:true ~traced:true ~name:"gcc"
+    ~description:"GNU C compiler (miniature optimising compiler)"
+    ~lang:Workload.C
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 60; 26; 31415 ] ~size:16
+          ~seed:21;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 40; 34; 27182 ] ~size:16
+          ~seed:22;
+        Workload.seeded_dataset ~name:"alt2" ~params:[ 90; 18; 16180 ] ~size:16
+          ~seed:23;
+      ]
+    source

@@ -1,0 +1,211 @@
+(* Stand-in for ghostview (X PostScript previewer): a PostScript-ish
+   stack machine interpreting a random operator stream — operand
+   stack, graphics state, path construction with clipping tests, and a
+   coarse raster accumulation.  Interpreter dispatch plus geometric
+   conditionals. *)
+
+let source =
+  {|
+float opstack[128];
+int osp = 0;
+
+/* graphics state */
+float cur_x = 0.0;
+float cur_y = 0.0;
+float ctm_a = 1.0;
+float ctm_b = 0.0;
+float ctm_c = 0.0;
+float ctm_d = 1.0;
+int path_n = 0;
+float path_x[512];
+float path_y[512];
+int raster[1024];    /* 32x32 coverage grid */
+
+void push_(float v) {
+  if (osp < 128) {
+    opstack[osp] = v;
+    osp = osp + 1;
+  }
+}
+
+float pop_() {
+  if (osp > 0) {
+    osp = osp - 1;
+    return opstack[osp];
+  }
+  return 0.0;
+}
+
+void moveto(float x, float y) {
+  float nx = ctm_a * x + ctm_c * y;
+  float ny = ctm_b * x + ctm_d * y;
+  if (nx < 0.0) {
+    nx = 0.0;
+  }
+  if (nx > 31.0) {
+    nx = 31.0;
+  }
+  if (ny < 0.0) {
+    ny = 0.0;
+  }
+  if (ny > 31.0) {
+    ny = 31.0;
+  }
+  cur_x = nx;
+  cur_y = ny;
+  path_n = 0;
+  path_x[0] = cur_x;
+  path_y[0] = cur_y;
+  path_n = 1;
+}
+
+void lineto(float x, float y) {
+  float nx = ctm_a * x + ctm_c * y;
+  float ny = ctm_b * x + ctm_d * y;
+  /* clip to [0,32) x [0,32) */
+  if (nx < 0.0) {
+    nx = 0.0;
+  }
+  if (nx > 31.0) {
+    nx = 31.0;
+  }
+  if (ny < 0.0) {
+    ny = 0.0;
+  }
+  if (ny > 31.0) {
+    ny = 31.0;
+  }
+  if (path_n < 512) {
+    path_x[path_n] = nx;
+    path_y[path_n] = ny;
+    path_n = path_n + 1;
+  }
+  cur_x = nx;
+  cur_y = ny;
+}
+
+void stroke() {
+  int i;
+  for (i = 1; i < path_n; i++) {
+    /* rasterise segment endpoints and midpoint */
+    float mx = (path_x[i - 1] + path_x[i]) * 0.5;
+    float my = (path_y[i - 1] + path_y[i]) * 0.5;
+    int xi = (int)path_x[i];
+    int yi = (int)path_y[i];
+    raster[yi * 32 + xi] = raster[yi * 32 + xi] + 1;
+    xi = (int)mx;
+    yi = (int)my;
+    raster[yi * 32 + xi] = raster[yi * 32 + xi] + 1;
+  }
+  path_n = 0;
+}
+
+void interp(int nops) {
+  int i;
+  for (i = 0; i < nops; i++) {
+    int op = rand_() % 12;
+    switch (op) {
+      case 0:
+        push_((float)(rand_() & 31));
+        break;
+      case 1: {
+        float b = pop_();
+        float a = pop_();
+        push_(a + b);
+        break;
+      }
+      case 2: {
+        float b = pop_();
+        float a = pop_();
+        push_(a - b);
+        break;
+      }
+      case 3: {
+        float b = pop_();
+        float a = pop_();
+        if (b == 0.0) {
+          push_(a);
+        } else {
+          push_(a / b);
+        }
+        break;
+      }
+      case 4: {
+        float y = pop_();
+        float x = pop_();
+        moveto(x, y);
+        break;
+      }
+      case 5:
+      case 6: {
+        float y = pop_();
+        float x = pop_();
+        lineto(x, y);
+        break;
+      }
+      case 7:
+        stroke();
+        break;
+      case 8: {
+        /* rotate-ish transform update */
+        float t = ctm_a;
+        ctm_a = ctm_d;
+        ctm_d = t;
+        ctm_b = 0.0 - ctm_b;
+        break;
+      }
+      case 9:
+        push_(cur_x);
+        break;
+      case 10:
+        push_(cur_y);
+        break;
+      default: {
+        /* dup */
+        float a = pop_();
+        push_(a);
+        push_(a);
+        break;
+      }
+    }
+  }
+}
+
+int main() {
+  int pages;
+  int nops;
+  int p;
+  int ink = 0;
+  int i;
+  pages = read();
+  nops = read();
+  srand_(read());
+  for (p = 0; p < pages; p++) {
+    for (i = 0; i < 1024; i++) {
+      raster[i] = 0;
+    }
+    osp = 0;
+    interp(nops);
+    stroke();
+    for (i = 0; i < 1024; i++) {
+      if (raster[i] > 0) {
+        ink = ink + 1;
+      }
+    }
+  }
+  print(ink);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~name:"ghostview" ~description:"X postscript previewer"
+    ~lang:Workload.C
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 60; 2600; 5150 ]
+          ~size:16 ~seed:101;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 90; 1700; 6001 ]
+          ~size:16 ~seed:102;
+      ]
+    source

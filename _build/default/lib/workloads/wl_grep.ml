@@ -1,0 +1,109 @@
+(* Stand-in for grep: scan generated "text" for a literal pattern and
+   a small character-class pattern.  One hot inner comparison loop; a
+   handful of branches account for nearly all dynamic executions (the
+   paper's "Big" column shows 3 branches covering 96% for grep). *)
+
+let source =
+  {|
+int text[30000];
+int ntext = 0;
+int pattern[8];
+int plen = 0;
+
+/* Build text with the pattern planted occasionally. */
+void build_text(int n) {
+  int i = 0;
+  while (i < n) {
+    int r = rand_();
+    if ((r & 1023) == 7 && i + plen < n) {
+      int j;
+      for (j = 0; j < plen; j++) {
+        text[i] = pattern[j];
+        i = i + 1;
+      }
+    } else {
+      text[i] = r & 63;
+      i = i + 1;
+    }
+  }
+  ntext = n;
+}
+
+int search_literal() {
+  int i;
+  int j;
+  int found = 0;
+  int limit = ntext - plen;
+  for (i = 0; i <= limit; i++) {
+    if (text[i] == pattern[0]) {
+      j = 1;
+      while (j < plen && text[i + j] == pattern[j]) {
+        j = j + 1;
+      }
+      if (j == plen) {
+        found = found + 1;
+      }
+    }
+  }
+  return found;
+}
+
+/* count "lines" (separator = 63) containing a class member [0-9] ~ codes 0..9 */
+int search_class() {
+  int i;
+  int hit = 0;
+  int lines = 0;
+  int this_line = 0;
+  for (i = 0; i < ntext; i++) {
+    int c = text[i];
+    if (c == 63) {
+      lines = lines + 1;
+      if (this_line != 0) {
+        hit = hit + 1;
+      }
+      this_line = 0;
+    } else {
+      if (c <= 9) {
+        this_line = 1;
+      }
+    }
+  }
+  return hit * 1000 + lines;
+}
+
+int main() {
+  int n;
+  int rounds;
+  int r;
+  int total = 0;
+  n = read();
+  rounds = read();
+  plen = read();
+  if (plen > 8) {
+    plen = 8;
+  }
+  for (r = 0; r < plen; r++) {
+    pattern[r] = read() & 63;
+  }
+  srand_(read());
+  for (r = 0; r < rounds; r++) {
+    build_text(n);
+    total = total + search_literal();
+    total = total + search_class();
+  }
+  print(total);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~name:"grep" ~description:"Search file for regular expr."
+    ~lang:Workload.C
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref"
+          ~params:[ 25000; 8; 4; 17; 23; 42; 5; 99 ] ~size:16 ~seed:41;
+        Workload.seeded_dataset ~name:"alt1"
+          ~params:[ 18000; 12; 3; 1; 2; 3; 88 ] ~size:16 ~seed:42;
+      ]
+    source

@@ -1,0 +1,247 @@
+(* Stand-in for lcc (Fraser & Hanson's C compiler): a second,
+   differently structured compiler.  Precedence-climbing expression
+   parsing over a token stream, tree rewriting (strength reduction),
+   stack-machine code emission with a peephole window, and a
+   linear-scan register assignment over a virtual instruction array.
+   Arrays-of-records instead of gcc's pointer AST. *)
+
+let source =
+  {|
+/* expression nodes kept in parallel arrays (lcc-ish arenas) */
+int nkind[5000];   /* 0 num, 1 var, 2 add, 3 sub, 4 mul, 5 shl */
+int nval[5000];
+int nleft[5000];
+int nright[5000];
+int nnodes = 0;
+
+int toks[5000];
+int tvals[5000];
+int ntoks = 0;
+int tpos = 0;
+
+int overflow_count = 0;
+
+void report_overflow(int what) {
+  overflow_count = overflow_count + 1;
+  print(what);
+}
+
+int mknode(int k, int v, int l, int r) {
+  if (nnodes >= 5000) {
+    report_overflow(1);
+    return 0;
+  }
+  nkind[nnodes] = k;
+  nval[nnodes] = v;
+  nleft[nnodes] = l;
+  nright[nnodes] = r;
+  nnodes = nnodes + 1;
+  return nnodes - 1;
+}
+
+void gen_tokens(int n) {
+  int i;
+  ntoks = 0;
+  tpos = 0;
+  /* alternating operand/operator stream of a valid expression */
+  for (i = 0; i < n; i++) {
+    int r = rand_();
+    if ((r & 7) < 5) {
+      toks[ntoks] = 0;
+      tvals[ntoks] = r & 1023;
+    } else {
+      toks[ntoks] = 1;
+      tvals[ntoks] = (r >> 3) & 31;
+    }
+    ntoks = ntoks + 1;
+    if (i + 1 < n) {
+      int op = 2 + (r % 4);          /* 2..5 */
+      toks[ntoks] = op;
+      tvals[ntoks] = (r >> 5) & 3;   /* binding power perturbation */
+      ntoks = ntoks + 1;
+    }
+  }
+}
+
+int prec_of(int op) {
+  if (op == 4) {
+    return 30;
+  }
+  if (op == 5) {
+    return 20;
+  }
+  return 10;
+}
+
+int parse_primary() {
+  int k;
+  int v;
+  if (tpos >= ntoks) {
+    return mknode(0, 1, -1, -1);
+  }
+  k = toks[tpos];
+  v = tvals[tpos];
+  tpos = tpos + 1;
+  if (k == 1) {
+    return mknode(1, v, -1, -1);
+  }
+  return mknode(0, v, -1, -1);
+}
+
+int parse_climb(int minp) {
+  int lhs = parse_primary();
+  while (tpos < ntoks) {
+    int op = toks[tpos];
+    int p;
+    if (op < 2) {
+      break;
+    }
+    p = prec_of(op);
+    if (p < minp) {
+      break;
+    }
+    tpos = tpos + 1;
+    lhs = mknode(op, 0, lhs, parse_climb(p + 1));
+  }
+  return lhs;
+}
+
+/* strength reduction: x*2^k -> x<<k; x+0 -> x */
+int rewrite(int e) {
+  int l;
+  int r;
+  int v;
+  if (e < 0) {
+    return e;
+  }
+  l = rewrite(nleft[e]);
+  r = rewrite(nright[e]);
+  nleft[e] = l;
+  nright[e] = r;
+  if (nkind[e] == 4 && r >= 0 && nkind[r] == 0) {
+    v = nval[r];
+    if (v == 2 || v == 4 || v == 8 || v == 16) {
+      int k = 1;
+      if (v == 4) {
+        k = 2;
+      }
+      if (v == 8) {
+        k = 3;
+      }
+      if (v == 16) {
+        k = 4;
+      }
+      nkind[e] = 5;
+      nval[r] = k;
+    }
+  }
+  if (nkind[e] == 2 && r >= 0 && nkind[r] == 0 && nval[r] == 0) {
+    return l;
+  }
+  return e;
+}
+
+/* stack-machine emission with a 1-slot peephole */
+int code[12000];
+int ncode = 0;
+int last_op = -1;
+
+void emit1(int op, int v) {
+  /* peephole: push k; pop  =>  nothing */
+  if (op == 9 && last_op == 0) {
+    ncode = ncode - 2;
+    if (ncode > 0) {
+      last_op = code[ncode - 2];
+    } else {
+      last_op = -1;
+    }
+    return;
+  }
+  code[ncode] = op;
+  code[ncode + 1] = v;
+  ncode = ncode + 2;
+  last_op = op;
+}
+
+void gen_code(int e) {
+  if (e < 0) {
+    emit1(0, 0);
+    return;
+  }
+  if (nkind[e] == 0) {
+    emit1(0, nval[e]);
+    return;
+  }
+  if (nkind[e] == 1) {
+    emit1(1, nval[e]);
+    return;
+  }
+  gen_code(nleft[e]);
+  gen_code(nright[e]);
+  emit1(nkind[e], 0);
+}
+
+/* linear-scan register assignment over the emitted stack code */
+int assign_regs() {
+  int depth = 0;
+  int maxdepth = 0;
+  int spills = 0;
+  int i;
+  for (i = 0; i < ncode; i = i + 2) {
+    int op = code[i];
+    if (op == 0 || op == 1) {
+      depth = depth + 1;
+      if (depth > maxdepth) {
+        maxdepth = depth;
+      }
+      if (depth > 8) {
+        spills = spills + 1;
+      }
+    } else {
+      if (op >= 2 && op <= 5) {
+        depth = depth - 1;
+      }
+    }
+  }
+  return maxdepth * 1000 + spills;
+}
+
+int main() {
+  int nexpr;
+  int size;
+  int i;
+  int total = 0;
+  nexpr = read();
+  size = read();
+  srand_(read());
+  for (i = 0; i < nexpr; i++) {
+    int root;
+    nnodes = 0;
+    ncode = 0;
+    last_op = -1;
+    gen_tokens(size);
+    root = parse_climb(0);
+    root = rewrite(root);
+    gen_code(root);
+    total = total + assign_regs();
+  }
+  print(total);
+  print(ncode);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~traced:true ~name:"lcc"
+    ~description:"Fraser & Hanson's C compiler (precedence-climbing mini compiler)"
+    ~lang:Workload.C
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 700; 60; 2718 ] ~size:16
+          ~seed:51;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 500; 90; 3141 ] ~size:16
+          ~seed:52;
+        Workload.seeded_dataset ~name:"alt2" ~params:[ 900; 40; 1618 ] ~size:16
+          ~seed:53;
+      ]
+    source

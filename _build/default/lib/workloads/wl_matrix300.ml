@@ -1,0 +1,90 @@
+(* Stand-in for SPEC89 matrix300: dense matrix multiply.  Almost all
+   dynamic branches are loop branches (the paper reports 4% non-loop),
+   and the one hot non-loop branch comes from the driver's
+   verification scan. *)
+
+let source =
+  {|
+float a[2304];     /* 48 x 48 */
+float b[2304];
+float c[2304];
+int n = 0;
+
+void init_mats() {
+  int i;
+  int j;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      float fi = (float)i;
+      float fj = (float)j;
+      a[i * 48 + j] = 0.001 * fi * fj + 0.5;
+      b[i * 48 + j] = 0.002 * (fi - fj);
+    }
+  }
+}
+
+void matmul() {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      float s = 0.0;
+      for (k = 0; k < n; k++) {
+        s = s + a[i * 48 + k] * b[k * 48 + j];
+      }
+      c[i * 48 + j] = s;
+    }
+  }
+}
+
+int main() {
+  int rounds;
+  int r;
+  int i;
+  int bigcount = 0;
+  n = read();
+  rounds = read();
+  if (n > 48) {
+    n = 48;
+  }
+  init_mats();
+  for (r = 0; r < rounds; r++) {
+    float maxv = 0.0;
+    matmul();
+    for (i = 0; i < n * 48; i++) {
+      float av = fabs(c[i]);
+      if (av > maxv) {
+        maxv = av;
+      }
+    }
+    if (maxv < 0.000001) {
+      maxv = 1.0;
+    }
+    /* feed the normalised product back in */
+    for (i = 0; i < n * 48; i++) {
+      a[i] = c[i] / maxv;
+    }
+    for (i = 0; i < n * 48; i++) {
+      if (c[i] > 100.0) {
+        bigcount = bigcount + 1;
+      }
+    }
+  }
+  print(bigcount);
+  print(c[0] * 1000.0);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~spec:true ~name:"matrix300" ~description:"Matrix multiply"
+    ~lang:Workload.F
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 48; 8 ] ~size:4
+          ~seed:161;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 36; 16 ] ~size:4
+          ~seed:162;
+      ]
+    source

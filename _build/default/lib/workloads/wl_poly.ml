@@ -1,0 +1,119 @@
+(* Stand-in for qp (polydominoes game): exact-cover style backtracking
+   that tiles a small board with dominoes and L-triominoes.
+   Recursive search with feasibility tests and undo — game-tree
+   control flow. *)
+
+let source =
+  {|
+int board[64];       /* 8x8, 0 = empty */
+int rows = 0;
+int cols = 0;
+int solutions = 0;
+int nodes = 0;
+int piece_budget = 0;
+
+int cell(int r, int c) {
+  return board[r * 8 + c];
+}
+
+void setcell(int r, int c, int v) {
+  board[r * 8 + c] = v;
+}
+
+int find_empty() {
+  int i;
+  for (i = 0; i < rows * 8; i++) {
+    int r = i / 8;
+    int c = i % 8;
+    if (c < cols && board[i] == 0) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+void solve(int depth) {
+  int pos;
+  int r;
+  int c;
+  nodes = nodes + 1;
+  if (nodes > piece_budget) {
+    return;
+  }
+  pos = find_empty();
+  if (pos == -1) {
+    solutions = solutions + 1;
+    return;
+  }
+  r = pos / 8;
+  c = pos % 8;
+  /* horizontal domino */
+  if (c + 1 < cols && cell(r, c + 1) == 0) {
+    setcell(r, c, depth);
+    setcell(r, c + 1, depth);
+    solve(depth + 1);
+    setcell(r, c, 0);
+    setcell(r, c + 1, 0);
+  }
+  /* vertical domino */
+  if (r + 1 < rows && cell(r + 1, c) == 0) {
+    setcell(r, c, depth);
+    setcell(r + 1, c, depth);
+    solve(depth + 1);
+    setcell(r, c, 0);
+    setcell(r + 1, c, 0);
+  }
+  /* L-triomino: right + down */
+  if (c + 1 < cols && r + 1 < rows && cell(r, c + 1) == 0
+      && cell(r + 1, c) == 0) {
+    setcell(r, c, depth);
+    setcell(r, c + 1, depth);
+    setcell(r + 1, c, depth);
+    solve(depth + 1);
+    setcell(r, c, 0);
+    setcell(r, c + 1, 0);
+    setcell(r + 1, c, 0);
+  }
+}
+
+int main() {
+  int i;
+  int blocks;
+  rows = read();
+  cols = read();
+  blocks = read();
+  piece_budget = read();
+  srand_(read());
+  if (rows > 8) {
+    rows = 8;
+  }
+  if (cols > 8) {
+    cols = 8;
+  }
+  for (i = 0; i < 64; i++) {
+    board[i] = 0;
+  }
+  /* pre-block some random cells so boards differ */
+  for (i = 0; i < blocks; i++) {
+    int r = rand_() % rows;
+    int c = rand_() % cols;
+    setcell(r, c, 99);
+  }
+  solve(1);
+  print(solutions);
+  print(nodes);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~name:"poly" ~description:"Polydominoes game"
+    ~lang:Workload.C
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 7; 8; 2; 15000; 777 ]
+          ~size:16 ~seed:141;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 6; 8; 1; 11000; 888 ]
+          ~size:16 ~seed:142;
+      ]
+    source

@@ -1,0 +1,223 @@
+(* Stand-in for QPT itself (the paper's profiling and tracing tool):
+   build random control-flow graphs, run depth-first search with an
+   explicit stack, compute iterative dominators, and count backedges
+   and natural-loop members.  Graph algorithms over adjacency lists
+   stored in arrays — branchy, irregular, and recursive in places. *)
+
+let source =
+  {|
+int head[600];      /* adjacency list heads, -1 terminated */
+int enext[4000];
+int edst[4000];
+int nedges = 0;
+int nverts = 0;
+
+int rpo[600];       /* reverse postorder */
+int order_of[600];
+int visited[600];
+int idom[600];
+int stack[1200];
+int nrpo = 0;
+
+int dropped_edges = 0;
+
+void report_drop() {
+  dropped_edges = dropped_edges + 1;
+}
+
+void add_edge(int u, int v) {
+  if (nedges >= 4000) {
+    report_drop();
+    return;
+  }
+  edst[nedges] = v;
+  enext[nedges] = head[u];
+  head[u] = nedges;
+  nedges = nedges + 1;
+}
+
+void build_graph(int n, int extra) {
+  int i;
+  nverts = n;
+  nedges = 0;
+  for (i = 0; i < n; i++) {
+    head[i] = -1;
+  }
+  /* spanning chain guarantees reachability, plus random edges with a
+     forward bias and occasional back edges (loops) */
+  for (i = 1; i < n; i++) {
+    add_edge(rand_() % i, i);
+  }
+  for (i = 0; i < extra; i++) {
+    int r = rand_();
+    int u = r % n;
+    int v = (r >> 8) % n;
+    if ((r & 0x30000) == 0) {
+      /* candidate backedge: target earlier vertex */
+      if (v > u) {
+        add_edge(v, u);
+      } else {
+        add_edge(u, v);
+      }
+    } else {
+      if (u < v) {
+        add_edge(u, v);
+      } else {
+        if (u > v) {
+          add_edge(v, u);
+        }
+      }
+    }
+  }
+}
+
+/* iterative DFS producing reverse postorder */
+void dfs() {
+  int sp = 0;
+  int i;
+  for (i = 0; i < nverts; i++) {
+    visited[i] = 0;
+  }
+  nrpo = nverts;
+  /* stack holds (vertex, edge-cursor) pairs */
+  stack[0] = 0;
+  stack[1] = head[0];
+  visited[0] = 1;
+  sp = 2;
+  while (sp > 0) {
+    int v = stack[sp - 2];
+    int e = stack[sp - 1];
+    if (e == -1) {
+      sp = sp - 2;
+      nrpo = nrpo - 1;
+      rpo[nrpo] = v;
+    } else {
+      int w = edst[e];
+      stack[sp - 1] = enext[e];
+      if (visited[w] == 0) {
+        visited[w] = 1;
+        stack[sp] = w;
+        stack[sp + 1] = head[w];
+        sp = sp + 2;
+      }
+    }
+  }
+  for (i = 0; i < nverts; i++) {
+    order_of[i] = -1;
+  }
+  for (i = nrpo; i < nverts; i++) {
+    order_of[rpo[i]] = i;
+  }
+}
+
+int intersect(int a, int b) {
+  while (a != b) {
+    while (order_of[a] > order_of[b]) {
+      a = idom[a];
+    }
+    while (order_of[b] > order_of[a]) {
+      b = idom[b];
+    }
+  }
+  return a;
+}
+
+/* Cooper-Harvey-Kennedy iterative dominators; preds found by edge scan */
+void dominators() {
+  int changed = 1;
+  int i;
+  for (i = 0; i < nverts; i++) {
+    idom[i] = -1;
+  }
+  idom[0] = 0;
+  while (changed != 0) {
+    changed = 0;
+    for (i = nrpo; i < nverts; i++) {
+      int b = rpo[i];
+      int new_idom = -1;
+      int u;
+      if (b != 0) {
+        /* scan all edges for predecessors (qpt works off raw edges) */
+        for (u = 0; u < nverts; u++) {
+          int e = head[u];
+          while (e != -1) {
+            if (edst[e] == b && idom[u] != -1) {
+              if (new_idom == -1) {
+                new_idom = u;
+              } else {
+                new_idom = intersect(u, new_idom);
+              }
+            }
+            e = enext[e];
+          }
+        }
+        if (new_idom != -1 && idom[b] != new_idom) {
+          idom[b] = new_idom;
+          changed = 1;
+        }
+      }
+    }
+  }
+}
+
+int dominates(int v, int w) {
+  while (w != v && w != 0 && idom[w] != w) {
+    if (idom[w] == -1) {
+      return 0;
+    }
+    w = idom[w];
+  }
+  if (w == v) {
+    return 1;
+  }
+  return 0;
+}
+
+int count_backedges() {
+  int u;
+  int count = 0;
+  for (u = 0; u < nverts; u++) {
+    int e = head[u];
+    while (e != -1) {
+      if (order_of[u] != -1 && dominates(edst[e], u) != 0) {
+        count = count + 1;
+      }
+      e = enext[e];
+    }
+  }
+  return count;
+}
+
+int main() {
+  int ngraphs;
+  int n;
+  int extra;
+  int g;
+  int total = 0;
+  ngraphs = read();
+  n = read();
+  extra = read();
+  srand_(read());
+  for (g = 0; g < ngraphs; g++) {
+    build_graph(n, extra);
+    dfs();
+    dominators();
+    total = total + count_backedges();
+  }
+  print(total);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~traced:true ~name:"qpt"
+    ~description:"Profiling and tracing tool (CFG analyses)"
+    ~lang:Workload.C
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 7; 110; 190; 606 ]
+          ~size:16 ~seed:61;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 5; 140; 250; 707 ]
+          ~size:16 ~seed:62;
+      ]
+    source

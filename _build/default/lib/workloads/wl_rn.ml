@@ -1,0 +1,145 @@
+(* Stand-in for rn (the net news reader): scan a stream of synthetic
+   articles (header lines + body), apply kill-file patterns to
+   subjects, thread articles by reference id, and score what is left.
+   String-ish scanning over int codes with a hash-threaded overview. *)
+
+let source =
+  {|
+/* article stream encoding, produced by gen_article:
+   each article: subject words, 0, ref id, body words, -1 */
+int stream[40000];
+int nstream = 0;
+
+int kill_words[6];
+int nkill = 0;
+
+/* threads: open-hash on reference id */
+int thr_id[512];
+int thr_count[512];
+
+void gen_article(int subj_len, int body_len, int vocab) {
+  int i;
+  for (i = 0; i < subj_len; i++) {
+    if (nstream < 39996) {
+      /* skewed vocabulary: low ids common */
+      int r = rand_();
+      int w = (r % 13) * ((r >> 6) % 11);
+      stream[nstream] = 1 + (w % vocab);
+      nstream = nstream + 1;
+    }
+  }
+  stream[nstream] = 0;
+  nstream = nstream + 1;
+  stream[nstream] = 1 + (rand_() % 97);
+  nstream = nstream + 1;
+  for (i = 0; i < body_len; i++) {
+    if (nstream < 39998) {
+      stream[nstream] = 1 + (rand_() % vocab);
+      nstream = nstream + 1;
+    }
+  }
+  stream[nstream] = -1;
+  nstream = nstream + 1;
+}
+
+int hash_thread(int id) {
+  int h = (id * 131) & 511;
+  while (thr_id[h] != 0 && thr_id[h] != id) {
+    h = (h + 1) & 511;
+  }
+  return h;
+}
+
+int main() {
+  int narticles;
+  int vocab;
+  int a;
+  int i;
+  int kept = 0;
+  int killed = 0;
+  int scored = 0;
+  int pos;
+  narticles = read();
+  vocab = read();
+  nkill = read();
+  if (nkill > 6) {
+    nkill = 6;
+  }
+  for (i = 0; i < nkill; i++) {
+    kill_words[i] = read();
+  }
+  srand_(read());
+  for (i = 0; i < 512; i++) {
+    thr_id[i] = 0;
+    thr_count[i] = 0;
+  }
+  for (a = 0; a < narticles; a++) {
+    int slen = 3 + (rand_() % 8);
+    int blen = 20 + (rand_() % 120);
+    int kill = 0;
+    nstream = 0;
+    gen_article(slen, blen, vocab);
+    pos = 0;
+    {
+    int refid;
+    int h;
+    int score = 0;
+    /* subject scan against kill words */
+    while (stream[pos] != 0) {
+      int w = stream[pos];
+      for (i = 0; i < nkill; i++) {
+        if (w == kill_words[i]) {
+          kill = 1;
+        }
+      }
+      pos = pos + 1;
+    }
+    pos = pos + 1;            /* skip separator */
+    refid = stream[pos];
+    pos = pos + 1;
+    h = hash_thread(refid);
+    thr_id[h] = refid;
+    thr_count[h] = thr_count[h] + 1;
+    /* body scan: score interesting words (small ids) */
+    while (pos < nstream && stream[pos] != -1) {
+      if (stream[pos] < 10) {
+        score = score + 1;
+      }
+      pos = pos + 1;
+    }
+    pos = pos + 1;            /* skip -1 */
+    if (kill != 0) {
+      killed = killed + 1;
+    } else {
+      kept = kept + 1;
+      if (score > 3) {
+        scored = scored + 1;
+      }
+    }
+  }
+  }
+  print(kept);
+  print(killed);
+  print(scored);
+  /* thread summary */
+  i = 0;
+  for (a = 0; a < 512; a++) {
+    if (thr_count[a] > i) {
+      i = thr_count[a];
+    }
+  }
+  print(i);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~name:"rn" ~description:"Net news reader" ~lang:Workload.C
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref"
+          ~params:[ 1600; 120; 4; 3; 17; 29; 55; 2468 ] ~size:16 ~seed:111;
+        Workload.seeded_dataset ~name:"alt1"
+          ~params:[ 1100; 80; 3; 5; 9; 77; 1357 ] ~size:16 ~seed:112;
+      ]
+    source

@@ -1,0 +1,157 @@
+(* Stand-in for sgefat: Gaussian elimination with partial pivoting
+   plus forward/back substitution and a residual check.  The pivot
+   search is a max-scan (non-loop branch inside a loop); elimination
+   itself is loop-dominated. *)
+
+let source =
+  {|
+float a[3136];      /* 56 x 56 */
+float lu[3136];
+float bvec[56];
+float xvec[56];
+int piv[56];
+int n = 0;
+
+void init_system(int round) {
+  int i;
+  int j;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      float fi = (float)(i + 1);
+      float fj = (float)(j + 1);
+      float v = 1.0 / (fi + fj - 1.0);
+      if (i == j) {
+        v = v + 2.0 + 0.01 * (float)round;
+      }
+      a[i * 56 + j] = v;
+    }
+    bvec[i] = 1.0 + 0.1 * (float)i;
+  }
+}
+
+/* returns 0 if singular */
+int factor() {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < n * 56; i++) {
+    lu[i] = a[i];
+  }
+  for (k = 0; k < n; k++) {
+    /* partial pivot search */
+    int p = k;
+    float pmax = fabs(lu[k * 56 + k]);
+    for (i = k + 1; i < n; i++) {
+      float v = fabs(lu[i * 56 + k]);
+      if (v > pmax) {
+        pmax = v;
+        p = i;
+      }
+    }
+    piv[k] = p;
+    if (pmax < 0.0000000001) {
+      return 0;
+    }
+    if (p != k) {
+      for (j = 0; j < n; j++) {
+        float t = lu[k * 56 + j];
+        lu[k * 56 + j] = lu[p * 56 + j];
+        lu[p * 56 + j] = t;
+      }
+    }
+    for (i = k + 1; i < n; i++) {
+      float m = lu[i * 56 + k] / lu[k * 56 + k];
+      lu[i * 56 + k] = m;
+      for (j = k + 1; j < n; j++) {
+        lu[i * 56 + j] = lu[i * 56 + j] - m * lu[k * 56 + j];
+      }
+    }
+  }
+  return 1;
+}
+
+void solve() {
+  int i;
+  int j;
+  for (i = 0; i < n; i++) {
+    xvec[i] = bvec[i];
+  }
+  for (i = 0; i < n; i++) {
+    int p = piv[i];
+    float t = xvec[i];
+    if (p != i) {
+      xvec[i] = xvec[p];
+      xvec[p] = t;
+    }
+    for (j = 0; j < i; j++) {
+      xvec[i] = xvec[i] - lu[i * 56 + j] * xvec[j];
+    }
+  }
+  for (i = n - 1; i >= 0; i--) {
+    for (j = i + 1; j < n; j++) {
+      xvec[i] = xvec[i] - lu[i * 56 + j] * xvec[j];
+    }
+    xvec[i] = xvec[i] / lu[i * 56 + i];
+  }
+}
+
+float residual() {
+  int i;
+  int j;
+  float worst = 0.0;
+  for (i = 0; i < n; i++) {
+    float s = 0.0;
+    for (j = 0; j < n; j++) {
+      s = s + a[i * 56 + j] * xvec[j];
+    }
+    s = fabs(s - bvec[i]);
+    if (s > worst) {
+      worst = s;
+    }
+  }
+  return worst;
+}
+
+int main() {
+  int rounds;
+  int r;
+  int singular = 0;
+  float worst = 0.0;
+  n = read();
+  rounds = read();
+  if (n > 56) {
+    n = 56;
+  }
+  for (r = 0; r < rounds; r++) {
+    init_system(r);
+    if (factor() == 0) {
+      singular = singular + 1;
+    } else {
+      float res;
+      solve();
+      res = residual();
+      if (res > worst) {
+        worst = res;
+      }
+    }
+  }
+  print(singular);
+  print(worst * 1000000000000.0);
+  print(xvec[0] * 1000.0);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~name:"sgefat" ~description:"Gaussian elimination"
+    ~lang:Workload.F
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 56; 18 ] ~size:4
+          ~seed:171;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 40; 40 ] ~size:4
+          ~seed:172;
+        Workload.seeded_dataset ~name:"alt2" ~params:[ 24; 110 ] ~size:4
+          ~seed:173;
+      ]
+    source

@@ -1,0 +1,188 @@
+(* Stand-in for SPEC89 spice2g6: analog circuit simulation.  A
+   Newton-ish transient loop over a randomly generated RC/diode
+   network: per-device model evaluation (switch dispatch), sparse
+   nodal matrix assembly, Gauss-Seidel linear solves with a
+   convergence test, and a time-step control branch.  The paper's
+   spice is loop-heavy (21% non-loop) with moderate FP. *)
+
+let source =
+  {|
+/* devices: kind 0=resistor 1=capacitor 2=diode 3=current source */
+int dkind[900];
+int dnode1[900];
+int dnode2[900];
+float dval[900];
+int ndev = 0;
+
+float gmat[3600];    /* dense nodal conductance, 60 x 60 max */
+float rhs[60];
+float volt[60];
+float prev_volt[60];
+int nnodes = 0;
+
+void build_circuit(int nn, int nd) {
+  int i;
+  nnodes = nn;
+  ndev = nd;
+  for (i = 0; i < nd; i++) {
+    int r = rand_();
+    dkind[i] = r % 4;
+    dnode1[i] = (r >> 4) % nn;
+    dnode2[i] = (r >> 12) % nn;
+    if (dnode1[i] == dnode2[i]) {
+      dnode2[i] = (dnode1[i] + 1) % nn;
+    }
+    dval[i] = 0.001 + 0.01 * (float)((r >> 2) & 63);
+  }
+}
+
+void stamp(int a, int b, float g) {
+  gmat[a * 60 + a] = gmat[a * 60 + a] + g;
+  gmat[b * 60 + b] = gmat[b * 60 + b] + g;
+  gmat[a * 60 + b] = gmat[a * 60 + b] - g;
+  gmat[b * 60 + a] = gmat[b * 60 + a] - g;
+}
+
+void assemble(float dt) {
+  int i;
+  for (i = 0; i < nnodes * 60; i++) {
+    gmat[i] = 0.0;
+  }
+  for (i = 0; i < nnodes; i++) {
+    rhs[i] = 0.0;
+    gmat[i * 60 + i] = 0.000001;   /* gmin */
+  }
+  for (i = 0; i < ndev; i++) {
+    int a = dnode1[i];
+    int b = dnode2[i];
+    switch (dkind[i]) {
+      case 0: {
+        stamp(a, b, 1.0 / (dval[i] * 100.0));
+        break;
+      }
+      case 1: {
+        /* backward-Euler companion model */
+        float g = dval[i] / dt;
+        stamp(a, b, g);
+        rhs[a] = rhs[a] + g * (prev_volt[a] - prev_volt[b]);
+        rhs[b] = rhs[b] - g * (prev_volt[a] - prev_volt[b]);
+        break;
+      }
+      case 2: {
+        /* linearised diode: conductance depends on region */
+        float v = volt[a] - volt[b];
+        float g;
+        if (v > 0.7) {
+          g = 5.0 + 10.0 * (v - 0.7);
+        } else {
+          if (v > 0.0) {
+            g = 0.1 + v;
+          } else {
+            g = 0.0001;
+          }
+        }
+        stamp(a, b, g);
+        break;
+      }
+      default: {
+        rhs[a] = rhs[a] + dval[i];
+        rhs[b] = rhs[b] - dval[i];
+        break;
+      }
+    }
+  }
+}
+
+int nonconverged = 0;
+
+void warn_nonconvergence() {
+  nonconverged = nonconverged + 1;
+}
+
+/* Gauss-Seidel sweeps; returns sweeps used */
+int gs_solve(int maxsweeps, float tol) {
+  int s;
+  int i;
+  int j;
+  for (s = 0; s < maxsweeps; s++) {
+    float delta = 0.0;
+    for (i = 1; i < nnodes; i++) {      /* node 0 is ground */
+      float acc = rhs[i];
+      float d;
+      for (j = 1; j < nnodes; j++) {
+        if (j != i) {
+          acc = acc - gmat[i * 60 + j] * volt[j];
+        }
+      }
+      acc = acc / gmat[i * 60 + i];
+      d = fabs(acc - volt[i]);
+      if (d > delta) {
+        delta = d;
+      }
+      volt[i] = acc;
+    }
+    if (delta < tol) {
+      return s + 1;
+    }
+  }
+  warn_nonconvergence();
+  return maxsweeps;
+}
+
+int main() {
+  int nn;
+  int nd;
+  int steps;
+  int t;
+  int i;
+  int total_sweeps = 0;
+  float dt = 0.0001;
+  nn = read();
+  nd = read();
+  steps = read();
+  srand_(read());
+  if (nn > 60) {
+    nn = 60;
+  }
+  build_circuit(nn, nd);
+  for (i = 0; i < nn; i++) {
+    volt[i] = 0.0;
+    prev_volt[i] = 0.0;
+  }
+  for (t = 0; t < steps; t++) {
+    int sweeps;
+    assemble(dt);
+    sweeps = gs_solve(40, 0.00001);
+    total_sweeps = total_sweeps + sweeps;
+    for (i = 0; i < nn; i++) {
+      prev_volt[i] = volt[i];
+    }
+    /* step control: grow the step when converging fast */
+    if (sweeps < 6) {
+      dt = dt * 1.5;
+      if (dt > 0.01) {
+        dt = 0.01;
+      }
+    } else {
+      if (sweeps > 25) {
+        dt = dt * 0.5;
+      }
+    }
+  }
+  print(total_sweeps);
+  print(volt[1] * 1000.0);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~spec:true ~traced:true ~name:"spice2g6"
+    ~description:"Circuit simulation" ~lang:Workload.F
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 52; 420; 60; 4096 ]
+          ~size:4 ~seed:191;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 40; 300; 110; 8192 ]
+          ~size:4 ~seed:192;
+      ]
+    source

@@ -1,0 +1,95 @@
+(* Stand-in for SPEC89 tomcatv: vectorised mesh generation.  Jacobi
+   relaxation sweeps over 2D grids with a maximum-residual reduction —
+   the exact `if (fabs(r) > rmax) rmax = r` pattern the paper singles
+   out: two branches account for 99% of non-loop executions, the Guard
+   heuristic mispredicts them and the Store heuristic nails them. *)
+
+let source =
+  {|
+float x[4096];      /* 64 x 64 grids */
+float y[4096];
+float rx[4096];
+float ry[4096];
+float rmax_g = 0.0;  /* residual maximum lives in static storage, like
+                        a Fortran COMMON variable */
+int n = 0;
+
+void init_grid() {
+  int i;
+  int j;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      float fi = (float)i;
+      float fj = (float)j;
+      x[i * 64 + j] = fi + 0.05 * fj;
+      y[i * 64 + j] = fj - 0.03 * fi + 0.001 * fi * fj;
+    }
+  }
+}
+
+float relax_once() {
+  int i;
+  int j;
+  rmax_g = 0.0;
+  /* residuals */
+  for (i = 1; i < n - 1; i++) {
+    for (j = 1; j < n - 1; j++) {
+      int p = i * 64 + j;
+      rx[p] = 0.25 * (x[p - 1] + x[p + 1] + x[p - 64] + x[p + 64]) - x[p];
+      ry[p] = 0.25 * (y[p - 1] + y[p + 1] + y[p - 64] + y[p + 64]) - y[p];
+    }
+  }
+  /* max reduction + update: the tomcatv hot branches */
+  for (i = 1; i < n - 1; i++) {
+    for (j = 1; j < n - 1; j++) {
+      int p = i * 64 + j;
+      /* Fortran's ABS is a branchless intrinsic, so the only
+         branches here are the two max-update guards the paper
+         discusses */
+      float ax = fabs(rx[p]);
+      float ay = fabs(ry[p]);
+      if (ax > rmax_g) {
+        rmax_g = ax;
+      }
+      if (ay > rmax_g) {
+        rmax_g = ay;
+      }
+      x[p] = x[p] + 0.9 * rx[p];
+      y[p] = y[p] + 0.9 * ry[p];
+    }
+  }
+  return rmax_g;
+}
+
+int main() {
+  int iters;
+  int it;
+  float rmax = 0.0;
+  n = read();
+  iters = read();
+  if (n > 64) {
+    n = 64;
+  }
+  init_grid();
+  for (it = 0; it < iters; it++) {
+    rmax = relax_once();
+  }
+  print(rmax);
+  print(x[65 * (n / 2)]);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~spec:true ~name:"tomcatv"
+    ~description:"Vectorized mesh generation" ~lang:Workload.F
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 64; 60 ] ~size:4
+          ~seed:151;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 48; 110 ] ~size:4
+          ~seed:152;
+        Workload.seeded_dataset ~name:"alt2" ~params:[ 32; 240 ] ~size:4
+          ~seed:153;
+      ]
+    source

@@ -1,0 +1,146 @@
+(* Stand-in for SPEC89 xlisp: a small Lisp-style expression
+   interpreter.  Heap-allocated cons cells, a recursive evaluator
+   dispatching on tags (a jump table, like a real interpreter's eval),
+   and a mark-and-sweep pass over a cell registry.  Pointer-chasing
+   with pervasive null tests — the control-flow class the paper's
+   Guard and Pointer heuristics target. *)
+
+let source =
+  {|
+struct cell {
+  int tag;          /* 0 = number, 1..5 = operators */
+  int val;
+  struct cell *a;
+  struct cell *b;
+  int mark;
+};
+
+int ncells = 0;
+struct cell *registry[24000];
+
+struct cell *newcell(int tag, int val, struct cell *a, struct cell *b) {
+  struct cell *c;
+  c = (struct cell *)alloc(sizeof(struct cell));
+  c->tag = tag;
+  c->val = val;
+  c->a = a;
+  c->b = b;
+  c->mark = 0;
+  if (ncells < 24000) {
+    registry[ncells] = c;
+    ncells = ncells + 1;
+  }
+  return c;
+}
+
+struct cell *build(int depth) {
+  int r;
+  int tag;
+  r = rand_();
+  if (depth <= 0 || (r & 7) < 3) {
+    return newcell(0, (r >> 3) & 1023, null, null);
+  }
+  tag = 1 + (r % 5);
+  return newcell(tag, 0, build(depth - 1), build(depth - 1));
+}
+
+int eval(struct cell *e) {
+  int x;
+  int y;
+  if (e == null) {
+    return 0;
+  }
+  if (e->tag == 0) {
+    return e->val;
+  }
+  x = eval(e->a);
+  y = eval(e->b);
+  switch (e->tag) {
+    case 1:
+      return x + y;
+    case 2:
+      return x - y;
+    case 3:
+      if (y == 0) {
+        return x;
+      }
+      return x % (iabs(y) + 1);
+    case 4:
+      return imax(x, y);
+    case 5:
+      if (x > 0) {
+        return y;
+      }
+      return -y;
+    default:
+      return 0;
+  }
+  return 0;
+}
+
+void mark(struct cell *e) {
+  if (e == null) {
+    return;
+  }
+  if (e->mark != 0) {
+    return;
+  }
+  e->mark = 1;
+  mark(e->a);
+  mark(e->b);
+}
+
+int sweep() {
+  int i;
+  int live = 0;
+  for (i = 0; i < ncells; i++) {
+    struct cell *c = registry[i];
+    if (c != null && c->mark != 0) {
+      live = live + 1;
+      c->mark = 0;
+    }
+  }
+  return live;
+}
+
+int main() {
+  int nexpr;
+  int depth;
+  int rounds;
+  int i;
+  int j;
+  int acc = 0;
+  nexpr = read();
+  depth = read();
+  rounds = read();
+  srand_(read());
+  for (i = 0; i < nexpr; i++) {
+    struct cell *e = build(depth);
+    for (j = 0; j < rounds; j++) {
+      acc = acc + eval(e);
+    }
+    if ((i & 15) == 15) {
+      mark(e);
+      acc = acc + sweep();
+      ncells = 0;
+    }
+  }
+  print(acc);
+  print(ncells);
+  return 0;
+}
+|}
+
+let workload =
+  Workload.make ~spec:true ~traced:true ~name:"xlisp"
+    ~description:"Lisp interpreter" ~lang:Workload.C
+    ~datasets:
+      [
+        Workload.seeded_dataset ~name:"ref" ~params:[ 420; 7; 3; 9001 ]
+          ~size:16 ~seed:11;
+        Workload.seeded_dataset ~name:"alt1" ~params:[ 260; 8; 3; 7707 ]
+          ~size:16 ~seed:12;
+        Workload.seeded_dataset ~name:"alt2" ~params:[ 520; 6; 4; 5115 ]
+          ~size:16 ~seed:13;
+      ]
+    source

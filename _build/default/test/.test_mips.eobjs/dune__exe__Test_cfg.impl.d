@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Cfg Fun List Mips Predict Printf QCheck QCheck_alcotest String

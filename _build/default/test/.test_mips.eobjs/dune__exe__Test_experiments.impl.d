@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Buffer Experiments Float Format List Predict Sim String Tracing Workloads

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest List Minic Printf QCheck QCheck_alcotest Sim String Workloads

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Cfg Experiments Gen Hashtbl List Minic Mips Predict Printf QCheck QCheck_alcotest Sim Workloads

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Ast List Minic Mips Printf QCheck QCheck_alcotest Sema Sim String

@@ -1,0 +1,1 @@
+test/test_mips.ml: Alcotest Array Fun List Mips QCheck QCheck_alcotest

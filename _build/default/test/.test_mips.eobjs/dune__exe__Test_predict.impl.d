@@ -1,0 +1,1 @@
+test/test_predict.ml: Alcotest Array Cfg Gen Hashtbl List Minic Mips Option Predict QCheck QCheck_alcotest Sim

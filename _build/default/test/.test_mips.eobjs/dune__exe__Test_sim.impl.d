@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cfg Gen List Minic Mips Predict Printf QCheck QCheck_alcotest Sim String

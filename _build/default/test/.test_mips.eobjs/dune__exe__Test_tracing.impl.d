@@ -1,0 +1,1 @@
+test/test_tracing.ml: Alcotest Array Gen List QCheck QCheck_alcotest Sim Tracing

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cfg Experiments List Predict Printf Sim String Workloads

@@ -1,0 +1,220 @@
+(* Tests for the prediction-guided code layout pass: condition
+   inversion, semantic preservation, and effectiveness. *)
+
+module I = Mips.Insn
+module R = Mips.Reg
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let t0 = R.t 0
+let t1 = R.t 1
+
+let test_invert_forms () =
+  checkb "beq" true (Predict.Layout.invert (I.Beq (t0, t1, 3)) = I.Bne (t0, t1, 3));
+  checkb "bne" true (Predict.Layout.invert (I.Bne (t0, t1, 3)) = I.Beq (t0, t1, 3));
+  checkb "bltz" true
+    (Predict.Layout.invert (I.Bz (I.Ltz, t0, 3)) = I.Bz (I.Gez, t0, 3));
+  checkb "blez" true
+    (Predict.Layout.invert (I.Bz (I.Lez, t0, 3)) = I.Bz (I.Gtz, t0, 3));
+  checkb "bc1t" true (Predict.Layout.invert (I.Bfp (true, 3)) = I.Bfp (false, 3));
+  Alcotest.check_raises "non-branch"
+    (Invalid_argument "Layout.invert: not a conditional branch") (fun () ->
+      ignore (Predict.Layout.invert I.Ret))
+
+let test_invert_involution () =
+  let branches =
+    [
+      I.Beq (t0, t1, 7); I.Bne (t0, t1, 7); I.Bz (I.Ltz, t0, 7);
+      I.Bz (I.Lez, t0, 7); I.Bz (I.Gtz, t0, 7); I.Bz (I.Gez, t0, 7);
+      I.Bfp (true, 7); I.Bfp (false, 7);
+    ]
+  in
+  List.iter
+    (fun b ->
+      checkb "involution" true
+        (Predict.Layout.invert (Predict.Layout.invert b) = b))
+    branches
+
+(* Inverted branches compute the complementary condition. *)
+let prop_invert_semantics =
+  QCheck.Test.make ~name:"inverted branch takes iff original does not"
+    ~count:200
+    QCheck.(make Gen.(pair (int_range (-20) 20) (int_range (-20) 20)))
+    (fun (a, b) ->
+      let eval (ins : int I.t) =
+        match ins with
+        | I.Beq _ -> a = b
+        | I.Bne _ -> a <> b
+        | I.Bz (I.Ltz, _, _) -> a < 0
+        | I.Bz (I.Lez, _, _) -> a <= 0
+        | I.Bz (I.Gtz, _, _) -> a > 0
+        | I.Bz (I.Gez, _, _) -> a >= 0
+        | _ -> false
+      in
+      List.for_all
+        (fun ins -> eval (Predict.Layout.invert ins) = not (eval ins))
+        [
+          I.Beq (t0, t1, 0); I.Bne (t0, t1, 0); I.Bz (I.Ltz, t0, 0);
+          I.Bz (I.Lez, t0, 0); I.Bz (I.Gtz, t0, 0); I.Bz (I.Gez, t0, 0);
+        ])
+
+
+(* Layout must preserve semantics on arbitrary programs, not just the
+   workloads: a generated family of branchy programs, laid out under
+   both a perfect and an adversarial predictor. *)
+let prop_layout_preserves_generated =
+  QCheck.Test.make ~name:"layout preserves semantics on generated programs"
+    ~count:25
+    QCheck.(make Gen.(pair (int_range 0 1000) (int_range 2 30)))
+    (fun (seed, bound) ->
+      let src =
+        Printf.sprintf
+          {|
+int acc = 0;
+void visit(int x) {
+  if (x %% 3 == %d) {
+    acc += x;
+  } else {
+    if (x > %d) {
+      acc -= x / 2;
+    }
+  }
+}
+int main() {
+  int i;
+  for (i = 0; i < %d; i++) {
+    switch ((i * %d) %% 4) {
+      case 0: visit(i); break;
+      case 1: acc ^= i; break;
+      case 2: while (acc > %d) { acc -= 7; } break;
+      default: acc += 3;
+    }
+  }
+  print(acc);
+  return 0;
+}
+|}
+          (seed mod 3) (bound * 2) (20 + (seed mod 50)) (1 + (seed mod 5))
+          bound
+      in
+      let prog = Minic.Frontend.compile src in
+      let d = Sim.Dataset.make ~name:"t" [||] in
+      let base = (Sim.Machine.run prog d).checksum in
+      let analyses = Cfg.Analysis.of_program prog in
+      let profile = Sim.Profile.run prog d in
+      let db =
+        Predict.Database.make prog analyses ~taken:profile.taken
+          ~fall:profile.fall
+      in
+      let laid_checksum predictor =
+        let predictions = Hashtbl.create 64 in
+        Array.iter
+          (fun (br : Predict.Database.branch) ->
+            Hashtbl.replace predictions (br.proc, br.block) (predictor br))
+          db.branches;
+        let laid =
+          Predict.Layout.apply prog ~predict:(fun ~proc ~block ->
+              match Hashtbl.find_opt predictions (proc, block) with
+              | Some dir -> dir
+              | None -> false)
+        in
+        (Sim.Machine.run laid d).checksum
+      in
+      laid_checksum Predict.Combined.perfect_predict = base
+      && laid_checksum (fun b -> not (Predict.Combined.perfect_predict b))
+         = base
+      && laid_checksum (fun _ -> true) = base)
+
+let layout_with predictor (r : Experiments.Bench_run.t) =
+  let predictions = Hashtbl.create 512 in
+  Array.iter
+    (fun (br : Predict.Database.branch) ->
+      Hashtbl.replace predictions (br.proc, br.block) (predictor br))
+    r.db.branches;
+  Predict.Layout.apply r.prog ~predict:(fun ~proc ~block ->
+      match Hashtbl.find_opt predictions (proc, block) with
+      | Some dir -> dir
+      | None -> false)
+
+let workloads_under_test = [ "xlisp"; "grep"; "tomcatv"; "gcc"; "compress" ]
+
+let test_layout_preserves_semantics () =
+  List.iter
+    (fun name ->
+      let r = Experiments.Bench_run.load (Workloads.Registry.find name) in
+      let ds = Workloads.Workload.primary_dataset r.wl in
+      let base = Sim.Machine.run r.prog ds in
+      List.iter
+        (fun (label, predictor) ->
+          let laid = layout_with predictor r in
+          let after = Sim.Machine.run laid ds in
+          checki
+            (Printf.sprintf "%s/%s checksum preserved" name label)
+            base.checksum after.checksum)
+        [
+          ("heuristic", Predict.Combined.predict Predict.Combined.paper_order);
+          ("perfect", Predict.Combined.perfect_predict);
+          ("anti", fun br -> not (Predict.Combined.perfect_predict br));
+          ("all-taken", fun _ -> true);
+        ])
+    workloads_under_test
+
+let test_layout_reduces_taken () =
+  List.iter
+    (fun name ->
+      let r = Experiments.Bench_run.load (Workloads.Registry.find name) in
+      let ds = Workloads.Workload.primary_dataset r.wl in
+      let taken0, execs0, _ = Predict.Layout.taken_transfers r.prog ds in
+      let laid = layout_with Predict.Combined.perfect_predict r in
+      let taken1, execs1, _ = Predict.Layout.taken_transfers laid ds in
+      checki (name ^ " same branch executions") execs0 execs1;
+      checkb
+        (Printf.sprintf "%s taken reduced (%d -> %d)" name taken0 taken1)
+        true (taken1 <= taken0))
+    workloads_under_test
+
+let test_layout_perfect_at_most_miss_rate () =
+  (* under perfect-prediction layout, the only taken conditional
+     branches are mispredictions or trace restarts; the taken rate
+     must drop to (roughly) the perfect miss rate plus loop backedge
+     re-entries.  We check the weaker bound: taken rate after layout
+     with perfect predictions is below 60% for every workload. *)
+  List.iter
+    (fun name ->
+      let r = Experiments.Bench_run.load (Workloads.Registry.find name) in
+      let ds = Workloads.Workload.primary_dataset r.wl in
+      let laid = layout_with Predict.Combined.perfect_predict r in
+      let taken, execs, _ = Predict.Layout.taken_transfers laid ds in
+      checkb (name ^ " post-layout taken under 60%") true
+        (float_of_int taken /. float_of_int (max 1 execs) < 0.6))
+    workloads_under_test
+
+let test_layout_idempotent_code_size () =
+  (* laying out twice must not blow up the code *)
+  let r = Experiments.Bench_run.load (Workloads.Registry.find "grep") in
+  let once = layout_with Predict.Combined.perfect_predict r in
+  let size0 = Mips.Program.code_size r.prog in
+  let size1 = Mips.Program.code_size once in
+  checkb "code growth bounded" true (size1 < size0 + (size0 / 4) + 16)
+
+let () =
+  Alcotest.run "layout"
+    [
+      ( "invert",
+        [
+          Alcotest.test_case "forms" `Quick test_invert_forms;
+          Alcotest.test_case "involution" `Quick test_invert_involution;
+          QCheck_alcotest.to_alcotest prop_invert_semantics;
+          QCheck_alcotest.to_alcotest prop_layout_preserves_generated;
+        ] );
+      ( "reorder",
+        [
+          Alcotest.test_case "preserves semantics" `Slow
+            test_layout_preserves_semantics;
+          Alcotest.test_case "reduces taken" `Slow test_layout_reduces_taken;
+          Alcotest.test_case "perfect bound" `Slow
+            test_layout_perfect_at_most_miss_rate;
+          Alcotest.test_case "code size" `Quick test_layout_idempotent_code_size;
+        ] );
+    ]

@@ -1,0 +1,381 @@
+(* Simulator tests: machine semantics, edge profiling, trace-run
+   accounting, and flow-conservation properties. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let compile src = Minic.Frontend.compile src
+let ds ?(ints = [||]) ?(floats = [||]) () =
+  Sim.Dataset.make ~floats ~name:"t" ints
+
+let loopy_src =
+  {|
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 100; i++) {
+    if ((i & 1) == 0) {
+      s += i;
+    }
+  }
+  print(s);
+  return 0;
+}
+|}
+
+let test_stats_deterministic () =
+  let prog = compile loopy_src in
+  let s1 = Sim.Machine.run prog (ds ()) in
+  let s2 = Sim.Machine.run prog (ds ()) in
+  checki "same instrs" s1.instr_count s2.instr_count;
+  checki "same checksum" s1.checksum s2.checksum;
+  checkb "nonzero" true (s1.instr_count > 100)
+
+let test_instr_limit () =
+  let prog = compile "int main() { while (1) { } return 0; }" in
+  try
+    ignore (Sim.Machine.run ~max_instrs:10_000 prog (ds ()));
+    Alcotest.fail "expected instruction-limit fault"
+  with Sim.Machine.Fault msg ->
+    checkb "mentions limit" true
+      (String.length msg > 0
+      && String.length msg >= String.length "instruction limit"
+      )
+
+let test_dataset_of_seed () =
+  let d1 = Sim.Dataset.of_seed ~name:"a" ~size:64 ~seed:7 in
+  let d2 = Sim.Dataset.of_seed ~name:"b" ~size:64 ~seed:7 in
+  let d3 = Sim.Dataset.of_seed ~name:"c" ~size:64 ~seed:8 in
+  checkb "same seed same data" true (d1.ints = d2.ints && d1.floats = d2.floats);
+  checkb "different seed different data" true (d1.ints <> d3.ints);
+  checkb "ints in range" true
+    (Array.for_all (fun v -> v >= 0 && v < 0x100000) d1.ints);
+  checkb "floats in range" true
+    (Array.for_all (fun v -> v >= 0. && v < 1.) d1.floats)
+
+let test_reads () =
+  let prog =
+    compile "int main() { print(read() + read()); print(readf()); return 0; }"
+  in
+  let stats = Sim.Machine.run prog (ds ~ints:[| 4; 5 |] ~floats:[| 0.25 |] ()) in
+  checki "ints read" 2 stats.ints_read;
+  checki "floats read" 1 stats.floats_read;
+  checki "checksum" (((9 * 31) + 1024) land 0x3FFFFFFFFFFF) stats.checksum
+
+let test_profile_counts () =
+  let prog = compile loopy_src in
+  let profile = Sim.Profile.run prog (ds ()) in
+  (* total branch executions are consistent between run and counts *)
+  let total = Sim.Profile.branch_execs profile in
+  checkb "many branches" true (total > 150);
+  (* every count is non-negative and attached to a branch pc *)
+  Array.iteri
+    (fun p row ->
+      Array.iteri
+        (fun pc c ->
+          if c > 0 then
+            checkb "count only at branch" true
+              (Mips.Insn.is_cond_branch prog.procs.(p).body.(pc)))
+        row)
+    profile.taken
+
+(* Flow conservation: for each branch, taken + fall counts equal the
+   number of times its block completed. We verify the weaker but
+   program-independent invariant that loop-guard + backedge counts are
+   consistent with the loop's iteration total. *)
+let test_profile_loop_counts () =
+  let prog = compile loopy_src in
+  let profile = Sim.Profile.run prog (ds ()) in
+  let analyses = Cfg.Analysis.of_program prog in
+  let db =
+    Predict.Database.make prog analyses ~taken:profile.taken ~fall:profile.fall
+  in
+  (* the for-loop in main iterates 100 times: its backedge branch
+     executes 100 times (99 taken + 1 fall-through exit) *)
+  let main_idx = Mips.Program.proc_index prog "main" in
+  let loop_branches =
+    Array.to_list db.branches
+    |> List.filter (fun (b : Predict.Database.branch) ->
+           b.proc = main_idx && b.cls = Predict.Classify.Loop_branch)
+  in
+  checkb "has a loop branch" true (loop_branches <> []);
+  List.iter
+    (fun (b : Predict.Database.branch) ->
+      checki "iterates 100x" 100 (Predict.Database.exec b))
+    loop_branches
+
+let test_trace_partition () =
+  let prog = compile loopy_src in
+  let analyses = Cfg.Analysis.of_program prog in
+  let profile = Sim.Profile.run prog (ds ()) in
+  let db =
+    Predict.Database.make prog analyses ~taken:profile.taken ~fall:profile.fall
+  in
+  let bits predictor =
+    let arr =
+      Array.map
+        (fun (p : Mips.Program.proc) -> Array.make (Array.length p.body) false)
+        prog.procs
+    in
+    Array.iter
+      (fun (br : Predict.Database.branch) -> arr.(br.proc).(br.pc) <- predictor br)
+      db.branches;
+    arr
+  in
+  let results =
+    Sim.Trace_run.run prog (ds ())
+      [
+        ("all-taken", bits (fun _ -> true));
+        ("all-fall", bits (fun _ -> false));
+        ("perfect", bits Predict.Combined.perfect_predict);
+      ]
+  in
+  List.iter
+    (fun (r : Sim.Trace_run.result) ->
+      (* the bucketed sequences partition the whole instruction trace *)
+      checki
+        ("sum of lengths = instrs for " ^ r.label)
+        r.instr_count
+        (Array.fold_left ( + ) 0 r.seq_sums);
+      checki
+        ("sum of counts = sequences for " ^ r.label)
+        r.breaks
+        (Array.fold_left ( + ) 0 r.seq_counts);
+      checkb "misses <= execs" true (r.cond_misses <= r.cond_execs))
+    results;
+  (* same execution: identical instruction and branch counts *)
+  match results with
+  | a :: rest ->
+    List.iter
+      (fun (r : Sim.Trace_run.result) ->
+        checki "same instrs" a.instr_count r.instr_count;
+        checki "same cond execs" a.cond_execs r.cond_execs)
+      rest
+  | [] -> Alcotest.fail "no results"
+
+let test_trace_perfect_beats_naive () =
+  let prog = compile loopy_src in
+  let analyses = Cfg.Analysis.of_program prog in
+  let profile = Sim.Profile.run prog (ds ()) in
+  let db =
+    Predict.Database.make prog analyses ~taken:profile.taken ~fall:profile.fall
+  in
+  let bits predictor =
+    let arr =
+      Array.map
+        (fun (p : Mips.Program.proc) -> Array.make (Array.length p.body) false)
+        prog.procs
+    in
+    Array.iter
+      (fun (br : Predict.Database.branch) -> arr.(br.proc).(br.pc) <- predictor br)
+      db.branches;
+    arr
+  in
+  let results =
+    Sim.Trace_run.run prog (ds ())
+      [
+        ("perfect", bits Predict.Combined.perfect_predict);
+        ("all-taken", bits (fun _ -> true));
+      ]
+  in
+  match results with
+  | [ perfect; taken ] ->
+    checkb "perfect has fewest misses" true
+      (perfect.cond_misses <= taken.cond_misses)
+  | _ -> Alcotest.fail "bad result arity"
+
+let test_switch_is_break () =
+  let prog =
+    compile
+      {|
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 50; i++) {
+    switch (i % 3) {
+      case 0: s += 1; break;
+      case 1: s += 2; break;
+      default: s += 3;
+    }
+  }
+  print(s);
+  return 0;
+}
+|}
+  in
+  let bits =
+    Array.map
+      (fun (p : Mips.Program.proc) -> Array.make (Array.length p.body) true)
+      prog.procs
+  in
+  let results = Sim.Trace_run.run prog (ds ()) [ ("x", bits) ] in
+  match results with
+  | [ r ] ->
+    (* at least one break per switch execution, even for a predictor
+       that never misses a conditional *)
+    checkb "indirect jumps break control" true (r.breaks >= 50)
+  | _ -> Alcotest.fail "bad arity"
+
+
+(* ---- raw machine edge cases (hand-assembled programs) ---- *)
+
+let test_machine_jalr () =
+  let open Mips.Asm in
+  let module I = Mips.Insn in
+  let t0 = Mips.Reg.t 0 in
+  (* call procedure 1 indirectly through a register *)
+  let main =
+    ( "main",
+      [ Ins (I.Li (t0, 1)); Ins (I.Jalr t0); Ins (I.PrintI Mips.Reg.v0);
+        Ins I.Ret ] )
+  in
+  let callee =
+    ("callee", [ Ins (I.Li (Mips.Reg.v0, 77)); Ins I.Ret ])
+  in
+  let prog = Mips.Program.make ~entry:"main" [ main; callee ] in
+  let stats = Sim.Machine.run prog (ds ()) in
+  checki "indirect call result" 77 stats.checksum
+
+let test_machine_jalr_is_indirect_break () =
+  let open Mips.Asm in
+  let module I = Mips.Insn in
+  let t0 = Mips.Reg.t 0 in
+  let main =
+    ("main", [ Ins (I.Li (t0, 1)); Ins (I.Jalr t0); Ins I.Ret ])
+  in
+  let callee = ("callee", [ Ins I.Ret ]) in
+  let prog = Mips.Program.make ~entry:"main" [ main; callee ] in
+  let hits = ref 0 in
+  let on_indirect _ = incr hits in
+  ignore (Sim.Machine.run ~on_indirect prog (ds ()));
+  checki "jalr reported as indirect" 1 !hits
+
+let test_machine_jtab_bounds () =
+  let open Mips.Asm in
+  let module I = Mips.Insn in
+  let t0 = Mips.Reg.t 0 in
+  let main =
+    ( "main",
+      [ Ins (I.Li (t0, 9)); Ins (I.Jtab (t0, [| "a"; "b" |])); Lab "a";
+        Ins I.Ret; Lab "b"; Ins I.Ret ] )
+  in
+  let prog = Mips.Program.make ~entry:"main" [ main ] in
+  try
+    ignore (Sim.Machine.run prog (ds ()));
+    Alcotest.fail "expected jump-table fault"
+  with Sim.Machine.Fault _ -> ()
+
+let test_machine_bad_call_index () =
+  let open Mips.Asm in
+  let module I = Mips.Insn in
+  let t0 = Mips.Reg.t 0 in
+  let main = ("main", [ Ins (I.Li (t0, 42)); Ins (I.Jalr t0); Ins I.Ret ]) in
+  let prog = Mips.Program.make ~entry:"main" [ main ] in
+  try
+    ignore (Sim.Machine.run prog (ds ()));
+    Alcotest.fail "expected bad-procedure fault"
+  with Sim.Machine.Fault _ -> ()
+
+let test_machine_zero_register () =
+  let open Mips.Asm in
+  let module I = Mips.Insn in
+  (* writes to $zero are discarded *)
+  let main =
+    ( "main",
+      [ Ins (I.Li (Mips.Reg.zero, 99)); Ins (I.PrintI Mips.Reg.zero);
+        Ins I.Ret ] )
+  in
+  let prog = Mips.Program.make ~entry:"main" [ main ] in
+  let stats = Sim.Machine.run prog (ds ()) in
+  checki "$zero stays zero" 0 stats.checksum
+
+let test_machine_float_roundtrip () =
+  let open Mips.Asm in
+  let module I = Mips.Insn in
+  let f0 = Mips.Freg.temp 0 and f1 = Mips.Freg.temp 1 in
+  let t0 = Mips.Reg.t 0 in
+  let main =
+    ( "main",
+      [
+        Ins (I.Fli (f0, 2.5));
+        Ins (I.Fli (f1, 4.0));
+        Ins (I.Falu (I.Fmul, f0, f0, f1));   (* 10.0 *)
+        Ins (I.Ftoi (t0, f0));
+        Ins (I.PrintI t0);
+        Ins (I.Fabs (f0, f0));
+        Ins (I.Fneg (f0, f0));
+        Ins (I.PrintF f0);                   (* -10.0 *)
+        Ins I.Ret;
+      ] )
+  in
+  let prog = Mips.Program.make ~entry:"main" [ main ] in
+  let stats = Sim.Machine.run prog (ds ()) in
+  let expect =
+    List.fold_left
+      (fun a v -> ((a * 31) + v) land 0x3FFFFFFFFFFF)
+      0 [ 10; -10 * 4096 ]
+  in
+  checki "float ops" expect stats.checksum
+
+(* qcheck: profile counts respect exec = taken + fall >= 0 and perfect
+   <= min direction over random small programs built from a template *)
+let prop_profile_consistency =
+  QCheck.Test.make ~name:"profile: perfect misses <= either direction"
+    ~count:30
+    QCheck.(make Gen.(int_range 1 60))
+    (fun n ->
+      let src =
+        Printf.sprintf
+          "int main() { int i; int s = 0; for (i = 0; i < %d; i++) { if (i %% \
+           7 < 3) { s += i; } else { s -= i; } } print(s); return 0; }"
+          n
+      in
+      let prog = compile src in
+      let analyses = Cfg.Analysis.of_program prog in
+      let profile = Sim.Profile.run prog (ds ()) in
+      let db =
+        Predict.Database.make prog analyses ~taken:profile.taken
+          ~fall:profile.fall
+      in
+      Array.for_all
+        (fun (b : Predict.Database.branch) ->
+          let p = Predict.Database.perfect_misses b in
+          p <= b.taken_count && p <= b.fall_count
+          && Predict.Database.exec b = b.taken_count + b.fall_count)
+        db.branches)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "deterministic" `Quick test_stats_deterministic;
+          Alcotest.test_case "instr limit" `Quick test_instr_limit;
+          Alcotest.test_case "dataset of_seed" `Quick test_dataset_of_seed;
+          Alcotest.test_case "reads" `Quick test_reads;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "counts" `Quick test_profile_counts;
+          Alcotest.test_case "loop counts" `Quick test_profile_loop_counts;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "partition" `Quick test_trace_partition;
+          Alcotest.test_case "perfect beats naive" `Quick
+            test_trace_perfect_beats_naive;
+          Alcotest.test_case "switch breaks" `Quick test_switch_is_break;
+        ] );
+      ( "machine edge cases",
+        [
+          Alcotest.test_case "jalr" `Quick test_machine_jalr;
+          Alcotest.test_case "jalr indirect" `Quick
+            test_machine_jalr_is_indirect_break;
+          Alcotest.test_case "jtab bounds" `Quick test_machine_jtab_bounds;
+          Alcotest.test_case "bad call index" `Quick test_machine_bad_call_index;
+          Alcotest.test_case "zero register" `Quick test_machine_zero_register;
+          Alcotest.test_case "float ops" `Quick test_machine_float_roundtrip;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_profile_consistency ] );
+    ]

@@ -1,0 +1,209 @@
+(* Workload-suite tests: every benchmark compiles, runs to completion
+   on every dataset with a stable (golden) instruction count and
+   checksum, and exhibits the branch-behaviour class it stands in
+   for. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Golden (instructions, checksum) per (workload, dataset).  These pin
+   down compiler and simulator determinism: any semantic change to
+   code generation or the machine shows up here. *)
+let golden =
+  [
+    ("congress", "ref", 19973714, 348);
+    ("congress", "alt1", 16305790, 308);
+    ("congress", "alt2", 28380080, 308);
+    ("ghostview", "ref", 15977899, 3361);
+    ("ghostview", "alt1", 16372709, 3699);
+    ("gcc", "ref", 6080791, 23001);
+    ("gcc", "alt1", 5452889, 15230);
+    ("gcc", "alt2", 6390903, 28183);
+    ("lcc", "ref", 27524596, 85808238);
+    ("lcc", "alt1", 29559824, 61721358);
+    ("lcc", "alt2", 23512983, 108748158);
+    ("rn", "ref", 9648923, 31890443);
+    ("rn", "alt1", 6471325, 22093506);
+    ("espresso", "ref", 16301568, 9929);
+    ("espresso", "alt1", 20641411, 6833);
+    ("espresso", "alt2", 10292377, 11328);
+    ("qpt", "ref", 14511952, 10);
+    ("qpt", "alt1", 16451092, 14);
+    ("awk", "ref", 16145920, 4392097);
+    ("awk", "alt1", 11325094, 2568848);
+    ("xlisp", "ref", 1858272, 18343693);
+    ("xlisp", "alt1", 1313815, 11290349);
+    ("xlisp", "alt2", 1972940, 29354502);
+    ("eqntott", "ref", 21247027, 34784);
+    ("eqntott", "alt1", 43049780, 32738);
+    ("addalg", "ref", 27016266, 22005510353708);
+    ("addalg", "alt1", 15098986, 19609879071630);
+    ("compress", "ref", 9984524, 24617302820549);
+    ("compress", "alt1", 9064481, 67047103672115);
+    ("compress", "alt2", 7973096, 46964468472202);
+    ("grep", "ref", 12953318, 2882311);
+    ("grep", "alt1", 13991149, 3101575);
+    ("poly", "ref", 18795942, 32981);
+    ("poly", "alt1", 12137568, 22065);
+    ("spice2g6", "ref", 33384759, 70368744175566);
+    ("spice2g6", "alt1", 46784199, 70368744143837);
+    ("doduc", "ref", 47802766, 20268456);
+    ("doduc", "alt1", 56191694, 26759963);
+    ("doduc", "alt2", 43724360, 6213357);
+    ("fpppp", "ref", 44701408, 7089299);
+    ("fpppp", "alt1", 51041118, 8991);
+    ("dnasa7", "ref", 37018144, 3140659);
+    ("dnasa7", "alt1", 60494456, 5913625);
+    ("tomcatv", "ref", 32792822, 137625);
+    ("tomcatv", "alt1", 33053690, 103219);
+    ("tomcatv", "alt2", 30699800, 68812);
+    ("matrix300", "ref", 22563650, 807526);
+    ("matrix300", "alt1", 19683240, 684551);
+    ("costScale", "ref", 37335471, 2938);
+    ("costScale", "alt1", 49636681, 3986);
+    ("dcg", "ref", 32942235, 7907346);
+    ("dcg", "alt1", 26466597, 7985569);
+    ("dcg", "alt2", 21621290, 7800985);
+    ("sgefat", "ref", 37730525, 70368743204464);
+    ("sgefat", "alt1", 32972851, 70368743636827);
+    ("sgefat", "alt2", 23512295, 23359);
+  ]
+
+let test_roster () =
+  checki "23 workloads" 23 (List.length Workloads.Registry.all);
+  let names = Workloads.Registry.names () in
+  checki "unique names" 23 (List.length (List.sort_uniq compare names));
+  checki "integer group" 14 (List.length (Workloads.Registry.integer_group ()));
+  checki "float group" 9 (List.length (Workloads.Registry.float_group ()));
+  checki "traced set" 7 (List.length (Workloads.Registry.traced ()));
+  checkb "traced are the paper's"
+    true
+    (List.sort compare
+       (List.map (fun (w : Workloads.Workload.t) -> w.name)
+          (Workloads.Registry.traced ()))
+    = [ "doduc"; "fpppp"; "gcc"; "lcc"; "qpt"; "spice2g6"; "xlisp" ]);
+  checkb "every workload has >= 2 datasets" true
+    (List.for_all
+       (fun (w : Workloads.Workload.t) -> List.length w.datasets >= 2)
+       Workloads.Registry.all)
+
+let test_without () =
+  checki "without matrix300" 22
+    (List.length (Workloads.Registry.without [ "matrix300" ]));
+  checki "without most-exclusions" 19
+    (List.length
+       (Workloads.Registry.without [ "eqntott"; "grep"; "tomcatv"; "matrix300" ]))
+
+let test_find () =
+  checkb "find gcc" true
+    ((Workloads.Registry.find "gcc").name = "gcc");
+  try
+    ignore (Workloads.Registry.find "nonesuch");
+    Alcotest.fail "expected Not_found"
+  with Not_found -> ()
+
+let test_golden_runs () =
+  List.iter
+    (fun (name, dsname, instrs, checksum) ->
+      let wl = Workloads.Registry.find name in
+      let prog = Workloads.Workload.compile wl in
+      let ds =
+        List.find (fun (d : Sim.Dataset.t) -> String.equal d.name dsname)
+          wl.datasets
+      in
+      let stats = Sim.Machine.run prog ds in
+      checki (Printf.sprintf "%s/%s instrs" name dsname) instrs
+        stats.instr_count;
+      checki (Printf.sprintf "%s/%s checksum" name dsname) checksum
+        stats.checksum)
+    golden
+
+let test_all_compile_and_analyze () =
+  List.iter
+    (fun wl ->
+      let prog = Workloads.Workload.compile wl in
+      let analyses = Cfg.Analysis.of_program prog in
+      checkb
+        (wl.Workloads.Workload.name ^ " has procedures")
+        true
+        (Array.length analyses > 1);
+      (* every procedure analysed without exception, with sane blocks *)
+      Array.iter
+        (fun (a : Cfg.Analysis.t) ->
+          checkb "nonempty" true (a.graph.nblocks >= 1))
+        analyses)
+    Workloads.Registry.all
+
+let test_branch_class_shapes () =
+  (* the suite must span the paper's behaviour classes *)
+  let share name =
+    let r = Experiments.Bench_run.load (Workloads.Registry.find name) in
+    let nl =
+      Predict.Metrics.total_exec (Predict.Database.non_loop_branches r.db)
+    in
+    let all =
+      Predict.Metrics.total_exec (Array.to_list r.db.branches)
+    in
+    float_of_int nl /. float_of_int all
+  in
+  (* pointer-chasing programs are dominated by non-loop branches *)
+  checkb "gcc mostly non-loop" true (share "gcc" > 0.6);
+  checkb "xlisp mostly non-loop" true (share "xlisp" > 0.6);
+  (* FP kernels are dominated by loop branches *)
+  checkb "matrix300 mostly loop" true (share "matrix300" < 0.2);
+  checkb "dcg mostly loop" true (share "dcg" < 0.2)
+
+let test_every_workload_exercises_branches () =
+  List.iter
+    (fun (wl : Workloads.Workload.t) ->
+      let r = Experiments.Bench_run.load wl in
+      let total = Predict.Metrics.total_exec (Array.to_list r.db.branches) in
+      checkb (wl.name ^ " executes >10k branches") true (total > 10_000);
+      (* both classes must be present statically *)
+      checkb
+        (wl.name ^ " has loop branches")
+        true
+        (Predict.Database.loop_branches r.db <> []);
+      checkb
+        (wl.name ^ " has non-loop branches")
+        true
+        (Predict.Database.non_loop_branches r.db <> []))
+    Workloads.Registry.all
+
+let test_dataset_checksums_differ () =
+  (* different datasets genuinely exercise different behaviour *)
+  List.iter
+    (fun (wl : Workloads.Workload.t) ->
+      let prog = Workloads.Workload.compile wl in
+      let sums =
+        List.map
+          (fun ds -> (Sim.Machine.run prog ds).checksum)
+          wl.datasets
+      in
+      checkb
+        (wl.name ^ " datasets distinguishable")
+        true
+        (List.length (List.sort_uniq compare sums) >= 2))
+    Workloads.Registry.all
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "roster" `Quick test_roster;
+          Alcotest.test_case "without" `Quick test_without;
+          Alcotest.test_case "find" `Quick test_find;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "golden runs" `Slow test_golden_runs;
+          Alcotest.test_case "compile+analyze" `Quick
+            test_all_compile_and_analyze;
+          Alcotest.test_case "class shapes" `Quick test_branch_class_shapes;
+          Alcotest.test_case "branch volume" `Quick
+            test_every_workload_exercises_branches;
+          Alcotest.test_case "dataset variety" `Slow
+            test_dataset_checksums_differ;
+        ] );
+    ]
