@@ -8,10 +8,118 @@
    With arguments: run only the named experiments, e.g.
      dune exec bench/main.exe table2 graph4
    Special arguments: "all" (default), "quick" (cap the subset
-   experiment), "timings" (only the Bechamel section). *)
+   experiment), "timings" (parallel stage timings + the Bechamel
+   section), "json" (emit the machine-readable BENCH_1.json perf
+   trajectory).
+
+   "-j N" anywhere on the command line sets the domain count for the
+   parallel sections (default: BALLARUS_JOBS or the machine's
+   recommended domain count; "-j 1" is the sequential path). *)
 
 let null_formatter =
   Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+(* ---- parallel stage timings ----
+
+   The four domain-parallel stages of the pipeline, each timed wall
+   clock from cold caches, first at -j 1 and then at the requested
+   width.  [prepare] resets exactly the state the stage recomputes, so
+   each stage is measured in isolation against warm inputs. *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let stages : (string * (unit -> unit) * (unit -> unit)) list =
+  [
+    ( "load_all",
+      (fun () -> Experiments.Bench_run.reset ()),
+      fun () -> ignore (Experiments.Bench_run.load_all ()) );
+    ( "miss_matrix",
+      (fun () ->
+        ignore (Experiments.Bench_run.load_all ());
+        Experiments.Orderings.reset ()),
+      fun () -> ignore (Experiments.Orderings.miss_matrix_cached ()) );
+    ( "subset",
+      (fun () -> ignore (Experiments.Orderings.miss_matrix_cached ())),
+      fun () ->
+        let m, rs = Experiments.Orderings.miss_matrix_cached () in
+        let k = (List.length rs + 1) / 2 in
+        ignore (Predict.Subset.run ~k m) );
+    ( "traces",
+      (fun () ->
+        ignore (Experiments.Bench_run.load_all ());
+        Experiments.Traces.reset ()),
+      fun () -> Experiments.Traces.warm () );
+  ]
+
+(* (name, seconds at -j 1, seconds at -j n) for every stage. *)
+let measure_stages jn =
+  List.map
+    (fun (name, prepare, run) ->
+      Par.Pool.set_jobs 1;
+      prepare ();
+      let t1 = wall run in
+      Par.Pool.set_jobs jn;
+      prepare ();
+      let tn = wall run in
+      (name, t1, tn))
+    stages
+
+let print_stage_timings jn =
+  Printf.printf "==== Parallel stage timings (wall clock, -j 1 vs -j %d) ====\n%!"
+    jn;
+  List.iter
+    (fun (name, t1, tn) ->
+      Printf.printf "%-14s j1 %8.3f s   j%d %8.3f s   speedup %5.2fx\n%!" name
+        t1 jn tn
+        (if tn > 0. then t1 /. tn else Float.nan))
+    (measure_stages jn);
+  print_newline ()
+
+(* ---- machine-readable perf trajectory ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let emit_json jn =
+  let results = measure_stages jn in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"ballarus-bench/1\",\n";
+  Buffer.add_string buf "  \"generated_by\": \"bench/main.exe json\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"domains\": %d,\n" jn);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domains\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, t1, tn) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"wall_s_j1\": %.6f, \"wall_s_jn\": %.6f, \
+            \"speedup\": %.3f}%s\n"
+           (json_escape name) t1 tn
+           (if tn > 0. then t1 /. tn else Float.nan)
+           (if i < List.length results - 1 then "," else "")))
+    results;
+  Buffer.add_string buf "  ]\n";
+  Buffer.add_string buf "}\n";
+  let out = Buffer.contents buf in
+  let oc = open_out "BENCH_1.json" in
+  output_string oc out;
+  close_out oc;
+  print_string out;
+  Printf.printf "wrote BENCH_1.json\n%!"
 
 (* One Bechamel test per experiment driver.  The first full run above
    warms every cache (compiled programs, profiles, miss matrices,
@@ -75,29 +183,50 @@ let run_timings () =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~stabilize:false ()
   in
   Printf.printf "==== Bechamel timings (per run, monotonic clock) ====\n%!";
+  let estimates =
+    List.concat_map
+      (fun test ->
+        let results = Benchmark.all cfg [ instance ] test in
+        let ols =
+          Analyze.all
+            (Analyze.ols ~bootstrap:0 ~r_square:false
+               ~predictors:[| Measure.run |])
+            instance results
+        in
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) ols [])
+      (bechamel_tests ())
+  in
+  (* Hashtbl.fold surfaces results in hash order; sort by test name so
+     the report is stable run to run. *)
   List.iter
-    (fun test ->
-      let results = Benchmark.all cfg [ instance ] test in
-      let ols =
-        Analyze.all
-          (Analyze.ols ~bootstrap:0 ~r_square:false
-             ~predictors:[| Measure.run |])
-          instance results
-      in
-      Hashtbl.iter
-        (fun name ols ->
-          match Analyze.OLS.estimates ols with
-          | Some [ est ] ->
-            if est > 1e9 then Printf.printf "%-28s %8.2f s\n%!" name (est /. 1e9)
-            else if est > 1e6 then
-              Printf.printf "%-28s %8.2f ms\n%!" name (est /. 1e6)
-            else Printf.printf "%-28s %8.2f us\n%!" name (est /. 1e3)
-          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
-        ols)
-    (bechamel_tests ())
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] ->
+        if est > 1e9 then Printf.printf "%-28s %8.2f s\n%!" name (est /. 1e9)
+        else if est > 1e6 then
+          Printf.printf "%-28s %8.2f ms\n%!" name (est /. 1e6)
+        else Printf.printf "%-28s %8.2f us\n%!" name (est /. 1e3)
+      | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) estimates)
+
+(* Strip "-j N" out of the argument list, configuring the pool. *)
+let rec parse_jobs acc = function
+  | [] -> List.rev acc
+  | "-j" :: n :: rest | "--jobs" :: n :: rest -> (
+    match int_of_string_opt n with
+    | Some jobs when jobs >= 1 ->
+      Par.Pool.set_jobs jobs;
+      parse_jobs acc rest
+    | _ ->
+      Printf.eprintf "bad -j argument %S\n" n;
+      exit 1)
+  | [ "-j" ] | [ "--jobs" ] ->
+    Printf.eprintf "-j needs an argument\n";
+    exit 1
+  | x :: rest -> parse_jobs (x :: acc) rest
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let args = parse_jobs [] (List.tl (Array.to_list Sys.argv)) in
   let ppf = Format.std_formatter in
   match args with
   | [] | [ "all" ] ->
@@ -107,9 +236,11 @@ let () =
     Experiments.Driver.run_all ~quick:true ppf;
     run_timings ()
   | [ "timings" ] ->
-    (* warm the caches first *)
+    print_stage_timings (Par.Pool.default_jobs ());
+    (* warm the remaining caches for the Bechamel section *)
     Experiments.Driver.run_all ~quick:true null_formatter;
     run_timings ()
+  | [ "json" ] -> emit_json (Par.Pool.default_jobs ())
   | ids ->
     List.iter
       (fun id ->

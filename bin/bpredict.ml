@@ -35,6 +35,22 @@ let src_arg =
   let doc = "A MiniC source file, or the name of a built-in workload." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SOURCE" ~doc)
 
+(* Domain count for the parallel sections (experiment suite, trace
+   warm-up).  Falls back to BALLARUS_JOBS, then to the machine's
+   recommended domain count; -j 1 forces the sequential path. *)
+let jobs_arg =
+  let doc =
+    "Number of domains for parallel sections (default: \
+     $(b,BALLARUS_JOBS) or the machine's recommended domain count; 1 \
+     runs sequentially)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let apply_jobs = function
+  | Some n when n >= 1 -> Par.Pool.set_jobs n
+  | Some n -> failwith (Printf.sprintf "-j %d: need at least one domain" n)
+  | None -> ()
+
 let handle_errors f =
   try f () with
   | Minic.Frontend.Error msg | Failure msg ->
@@ -169,8 +185,9 @@ let profile_cmd =
 (* ---- trace ---- *)
 
 let trace_cmd =
-  let run src =
+  let run src jobs =
     handle_errors (fun () ->
+        apply_jobs jobs;
         match Workloads.Registry.find src with
         | exception Not_found ->
           failwith "trace analysis requires a built-in workload name"
@@ -181,7 +198,7 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Instructions-per-break-in-control analysis")
-    Term.(const run $ src_arg)
+    Term.(const run $ src_arg $ jobs_arg)
 
 (* ---- layout ---- *)
 
@@ -238,8 +255,9 @@ let experiment_cmd =
     Arg.(value & flag & info [ "quick" ]
            ~doc:"Cap the subset experiment at 20,000 trials.")
   in
-  let run id quick =
+  let run id quick jobs =
     handle_errors (fun () ->
+        apply_jobs jobs;
         if String.equal id "all" then
           Experiments.Driver.run_all ~quick Format.std_formatter
         else
@@ -251,7 +269,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures")
-    Term.(const run $ id_arg $ quick_arg)
+    Term.(const run $ id_arg $ quick_arg $ jobs_arg)
 
 (* ---- list ---- *)
 

@@ -87,12 +87,26 @@ let order_as_ints order = Array.of_list (List.map Heuristic.to_int order)
 
 let non_loop_miss order db = eval_compiled (compile db) (order_as_ints order)
 
+(* The 5040 orders are evaluated in (benchmark x order-chunk) tasks so
+   the matrix fills across domains.  Every cell is written exactly once
+   by exactly one task, so the matrix is identical at any [-j]. *)
+let order_chunk = 315
+
 let miss_matrix dbs =
-  let compiled = Array.map compile dbs in
+  let pool = Par.Pool.get () in
+  let nb = Array.length dbs in
+  let compiled = Par.Pool.parallel_map pool compile dbs in
   let orders = Array.init nperm (fun i -> order_as_ints (order_of_index i)) in
-  Array.map
-    (fun c -> Array.map (fun o -> eval_compiled c o) orders)
-    compiled
+  let m = Array.init nb (fun _ -> Array.make nperm 0.) in
+  let per_row = (nperm + order_chunk - 1) / order_chunk in
+  Par.Pool.run pool (nb * per_row) (fun task ->
+      let b = task / per_row and c = task mod per_row in
+      let lo = c * order_chunk and hi = min nperm ((c + 1) * order_chunk) in
+      let cb = compiled.(b) and row = m.(b) in
+      for o = lo to hi - 1 do
+        row.(o) <- eval_compiled cb orders.(o)
+      done);
+  m
 
 let sorted_average m =
   let nb = Array.length m in

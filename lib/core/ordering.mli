@@ -25,7 +25,10 @@ val non_loop_miss : Combined.order -> Database.t -> float
 
 val miss_matrix : Database.t array -> float array array
 (** [m.(b).(o)]: miss rate of order [o] on benchmark [b], for all
-    5040 orders.  Shared by Graph 1 and the subset experiment. *)
+    5040 orders.  Shared by Graph 1 and the subset experiment.
+    Evaluated in (benchmark x order-chunk) tasks on the {!Par.Pool}
+    default pool; each cell is written by exactly one task, so the
+    matrix is identical at any [-j]. *)
 
 val sorted_average : float array array -> float array
 (** Graph 1's series: the per-order average across benchmarks, sorted

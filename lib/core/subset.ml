@@ -16,6 +16,44 @@ let choose n k =
     !acc
   end
 
+let unrank ~n ~k r =
+  if k < 0 || k > n then invalid_arg "Subset.unrank: bad subset size";
+  if r < 0 || r >= choose n k then invalid_arg "Subset.unrank: rank out of range";
+  let comb = Array.make k 0 in
+  let r = ref r in
+  let v = ref 0 in
+  for i = 0 to k - 1 do
+    (* smallest member for slot [i] whose block of combinations still
+       covers the remaining rank *)
+    let rec settle () =
+      let block = choose (n - 1 - !v) (k - 1 - i) in
+      if !r >= block then begin
+        r := !r - block;
+        incr v;
+        settle ()
+      end
+    in
+    settle ();
+    comb.(i) <- !v;
+    incr v
+  done;
+  comb
+
+let rank ~n ~k comb =
+  if Array.length comb <> k then invalid_arg "Subset.rank: bad subset size";
+  let r = ref 0 in
+  let prev = ref (-1) in
+  Array.iteri
+    (fun i ci ->
+      if ci <= !prev || ci >= n then
+        invalid_arg "Subset.rank: not a sorted combination over 0..n-1";
+      for v = !prev + 1 to ci - 1 do
+        r := !r + choose (n - 1 - v) (k - 1 - i)
+      done;
+      prev := ci)
+    comb;
+  !r
+
 (* Lexicographically next k-combination of 0..n-1 in place; false at
    the last combination. *)
 let next_combination comb n =
@@ -33,13 +71,18 @@ let next_combination comb n =
   in
   bump (k - 1)
 
-let run ?k ?(max_trials = max_int) (m : float array array) =
-  let nb = Array.length m in
-  if nb = 0 then invalid_arg "Subset.run: empty matrix";
-  let no = Array.length m.(0) in
-  let k = match k with Some k -> k | None -> (nb + 1) / 2 in
-  if k <= 0 || k > nb then invalid_arg "Subset.run: bad subset size";
-  let comb = Array.init k Fun.id in
+(* Ranks are enumerated in fixed chunks of this many trials.  Each
+   chunk unranks its starting combination, sums its rows afresh, and
+   then runs the incremental-delta walk; chunks are the unit of
+   parallelism.  The decomposition depends only on the trial count —
+   never on the domain count — so the floating-point accumulations
+   (and hence every argmin tie) are bit-identical at any [-j]. *)
+let chunk_trials = 8192
+
+(* Walk the [len] combinations of rank [lo .. lo+len-1] and return the
+   per-order win counts for this range. *)
+let walk_range (m : float array array) ~nb ~no ~k lo len =
+  let comb = unrank ~n:nb ~k lo in
   let cur = Array.make no 0. in
   Array.iter
     (fun b ->
@@ -60,50 +103,63 @@ let run ?k ?(max_trials = max_int) (m : float array array) =
     done;
     !best
   in
-  let trials = ref 0 in
   let record () =
     let w = argmin () in
-    win_counts.(w) <- win_counts.(w) + 1;
-    incr trials
+    win_counts.(w) <- win_counts.(w) + 1
   in
   let prev = Array.copy comb in
   record ();
-  let continue = ref true in
-  while !continue && !trials < max_trials do
+  for _ = 2 to len do
     Array.blit comb 0 prev 0 k;
-    if next_combination comb nb then begin
-      (* Apply the row deltas between [prev] and [comb].  Both are
-         sorted; symmetric difference via merge. *)
-      let add b =
-        let row = m.(b) in
-        for o = 0 to no - 1 do
-          Array.unsafe_set cur o (Array.unsafe_get cur o +. Array.unsafe_get row o)
-        done
-      and sub b =
-        let row = m.(b) in
-        for o = 0 to no - 1 do
-          Array.unsafe_set cur o (Array.unsafe_get cur o -. Array.unsafe_get row o)
-        done
-      in
-      let i = ref 0 and j = ref 0 in
-      while !i < k || !j < k do
-        if !i < k && !j < k && prev.(!i) = comb.(!j) then begin
-          incr i;
-          incr j
-        end
-        else if !j >= k || (!i < k && prev.(!i) < comb.(!j)) then begin
-          sub prev.(!i);
-          incr i
-        end
-        else begin
-          add comb.(!j);
-          incr j
-        end
-      done;
-      record ()
-    end
-    else continue := false
+    if not (next_combination comb nb) then
+      invalid_arg "Subset.walk_range: range past the last combination";
+    (* Apply the row deltas between [prev] and [comb].  Both are
+       sorted; symmetric difference via merge. *)
+    let add b =
+      let row = m.(b) in
+      for o = 0 to no - 1 do
+        Array.unsafe_set cur o (Array.unsafe_get cur o +. Array.unsafe_get row o)
+      done
+    and sub b =
+      let row = m.(b) in
+      for o = 0 to no - 1 do
+        Array.unsafe_set cur o (Array.unsafe_get cur o -. Array.unsafe_get row o)
+      done
+    in
+    let i = ref 0 and j = ref 0 in
+    while !i < k || !j < k do
+      if !i < k && !j < k && prev.(!i) = comb.(!j) then begin
+        incr i;
+        incr j
+      end
+      else if !j >= k || (!i < k && prev.(!i) < comb.(!j)) then begin
+        sub prev.(!i);
+        incr i
+      end
+      else begin
+        add comb.(!j);
+        incr j
+      end
+    done;
+    record ()
   done;
+  win_counts
+
+let run ?k ?(max_trials = max_int) (m : float array array) =
+  let nb = Array.length m in
+  if nb = 0 then invalid_arg "Subset.run: empty matrix";
+  let no = Array.length m.(0) in
+  let k = match k with Some k -> k | None -> (nb + 1) / 2 in
+  if k <= 0 || k > nb then invalid_arg "Subset.run: bad subset size";
+  let total = min (choose nb k) max_trials in
+  let win_counts =
+    Par.Pool.reduce (Par.Pool.get ()) ~n:total ~chunk:chunk_trials
+      ~map:(fun lo hi -> walk_range m ~nb ~no ~k lo (hi - lo))
+      ~merge:(fun acc part ->
+        Array.iteri (fun o c -> acc.(o) <- acc.(o) + c) part;
+        acc)
+      ~init:(Array.make no 0)
+  in
   let overall =
     Array.init no (fun o ->
         let s = ref 0. in
@@ -121,7 +177,7 @@ let run ?k ?(max_trials = max_int) (m : float array array) =
            if c <> 0 then c else compare o1 o2)
     |> Array.of_list
   in
-  { trials = !trials; distinct_orders = Array.length wins; wins; overall }
+  { trials = total; distinct_orders = Array.length wins; wins; overall }
 
 let cumulative_share r =
   let total = float_of_int r.trials in

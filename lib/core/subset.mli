@@ -8,6 +8,12 @@
     are enumerated lexicographically and the per-order subset sums are
     maintained incrementally, so the full experiment runs in seconds.
 
+    The enumeration is split into fixed-size contiguous rank ranges
+    ({!unrank} finds each range's starting combination) that run in
+    parallel on the {!Par.Pool} default pool.  The decomposition is a
+    function of the trial count alone, so results are bit-identical
+    for any [-j].
+
     Ties between orders are broken toward the lower order index,
     making results deterministic. *)
 
@@ -22,6 +28,15 @@ type result = {
 
 val choose : int -> int -> int
 (** Binomial coefficient. *)
+
+val unrank : n:int -> k:int -> int -> int array
+(** [unrank ~n ~k r] is the [r]-th (0-based) k-combination of
+    [0 .. n-1] in lexicographic order, as a sorted array.  Raises
+    [Invalid_argument] unless [0 <= r < choose n k]. *)
+
+val rank : n:int -> k:int -> int array -> int
+(** Lexicographic rank of a sorted k-combination of [0 .. n-1];
+    inverse of {!unrank}. *)
 
 val run : ?k:int -> ?max_trials:int -> float array array -> result
 (** [run m] over the miss matrix from {!Ordering.miss_matrix}

@@ -6,11 +6,17 @@ type t = {
   db : Predict.Database.t;
 }
 
+(* Both memo tables are shared across domains.  The mutexes guard the
+   tables only; the pipeline itself (compile, analyse, profile) runs
+   unlocked.  Two domains racing on the same key at worst duplicate a
+   deterministic computation, and last-write-wins keeps the table
+   consistent. *)
 let cache : (string, t) Hashtbl.t = Hashtbl.create 32
+let cache_mutex = Mutex.create ()
 
 let load wl =
   let name = wl.Workloads.Workload.name in
-  match Hashtbl.find_opt cache name with
+  match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache name) with
   | Some t -> t
   | None ->
     let prog = Workloads.Workload.compile wl in
@@ -23,19 +29,27 @@ let load wl =
         ~fall:profile.fall
     in
     let t = { wl; prog; analyses; profile; db } in
-    Hashtbl.replace cache name t;
+    Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache name t);
     t
 
-let load_all () = List.map load Workloads.Registry.all
+let load_all () =
+  Par.Pool.parallel_map_list (Par.Pool.get ()) load Workloads.Registry.all
 
-let load_named names = List.map (fun n -> load (Workloads.Registry.find n)) names
+let load_named names =
+  Par.Pool.parallel_map_list (Par.Pool.get ())
+    (fun n -> load (Workloads.Registry.find n))
+    names
 
 let db_cache : (string * string, Predict.Database.t) Hashtbl.t =
   Hashtbl.create 64
 
+let db_cache_mutex = Mutex.create ()
+
 let db_for t ds =
   let key = (t.wl.name, ds.Sim.Dataset.name) in
-  match Hashtbl.find_opt db_cache key with
+  match
+    Mutex.protect db_cache_mutex (fun () -> Hashtbl.find_opt db_cache key)
+  with
   | Some db -> db
   | None ->
     let profile = Sim.Profile.run t.prog ds in
@@ -43,8 +57,13 @@ let db_for t ds =
       Predict.Database.make t.prog t.analyses ~taken:profile.taken
         ~fall:profile.fall
     in
-    Hashtbl.replace db_cache key db;
+    Mutex.protect db_cache_mutex (fun () -> Hashtbl.replace db_cache key db);
     db
+
+let reset () =
+  Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache);
+  Mutex.protect db_cache_mutex (fun () -> Hashtbl.reset db_cache);
+  Workloads.Workload.reset_cache ()
 
 let prediction_bits t predictor =
   let bits =

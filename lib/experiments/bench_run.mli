@@ -15,12 +15,19 @@ type t = {
 
 val load : Workloads.Workload.t -> t
 (** Compile, analyse, and profile on the primary dataset (memoised per
-    workload name). *)
+    workload name; safe to call from multiple domains). *)
 
 val load_all : unit -> t list
-(** All benchmarks of {!Workloads.Registry.all}. *)
+(** All benchmarks of {!Workloads.Registry.all}.  The independent
+    per-workload pipelines fan out across the {!Par.Pool} default
+    pool; the returned list is in registry order regardless of [-j]. *)
 
 val load_named : string list -> t list
+(** Like {!load_all} for a named subset, in the given order. *)
+
+val reset : unit -> unit
+(** Drop every memo table (including the workload compile cache) so
+    the benchmark harness can time cold pipelines. *)
 
 val db_for : t -> Sim.Dataset.t -> Predict.Database.t
 (** Branch database for a non-primary dataset (profiles it afresh;

@@ -4,6 +4,9 @@ type experiment = {
   id : string;       (** e.g. "table2", "graph4" *)
   title : string;
   run : Format.formatter -> unit;
+  quick_run : (Format.formatter -> unit) option;
+      (** cheaper variant used by [run_all ~quick:true], e.g. the
+          trial-capped subset experiment *)
 }
 
 val all : experiment list
@@ -12,7 +15,11 @@ val all : experiment list
 
 val find : string -> experiment option
 
+val prewarm : unit -> unit
+(** Fill the benchmark and trace memo tables in parallel on the
+    {!Par.Pool} default pool. *)
+
 val run_all : ?quick:bool -> Format.formatter -> unit
-(** Run every experiment in sequence, with banners.  [quick] caps the
-    subset experiment at 20,000 trials (default false: full
-    705,432-trial enumeration). *)
+(** Run every experiment in sequence, with banners, after a parallel
+    {!prewarm}.  [quick] substitutes each experiment's [quick_run]
+    when present (the subset experiment capped at 20,000 trials). *)

@@ -2,18 +2,24 @@ let matrix_cache :
     (float array array * Bench_run.t list) option ref =
   ref None
 
+let matrix_cache_mutex = Mutex.create ()
+
 let miss_matrix_cached () =
-  match !matrix_cache with
+  match Mutex.protect matrix_cache_mutex (fun () -> !matrix_cache) with
   | Some v -> v
   | None ->
     let rs =
-      List.map Bench_run.load (Workloads.Registry.without [ "matrix300" ])
+      Par.Pool.parallel_map_list (Par.Pool.get ()) Bench_run.load
+        (Workloads.Registry.without [ "matrix300" ])
     in
     let dbs = Array.of_list (List.map (fun (r : Bench_run.t) -> r.db) rs) in
     let m = Predict.Ordering.miss_matrix dbs in
     let v = (m, rs) in
-    matrix_cache := Some v;
+    Mutex.protect matrix_cache_mutex (fun () -> matrix_cache := Some v);
     v
+
+let reset () =
+  Mutex.protect matrix_cache_mutex (fun () -> matrix_cache := None)
 
 let order_string idx =
   String.concat " "

@@ -16,3 +16,7 @@ val graph2_3_table4 : ?max_trials:int -> Format.formatter -> unit
 val miss_matrix_cached : unit -> float array array * Bench_run.t list
 (** The (benchmark x 5040 orders) miss matrix over all benchmarks
     except matrix300, memoised for reuse across drivers. *)
+
+val reset : unit -> unit
+(** Drop the memoised matrix (used by the benchmark harness to time
+    cold runs). *)

@@ -6,11 +6,19 @@ let predictors_for (r : Bench_run.t) =
     ("Perfect", Bench_run.prediction_bits r Predict.Combined.perfect_predict);
   ]
 
+(* Shared across domains; the mutex guards the table only, the trace
+   simulation runs unlocked (deterministic, so a racing duplicate is
+   harmless). *)
 let trace_cache : (string, Tracing.Ipbc.distribution list) Hashtbl.t =
   Hashtbl.create 16
 
+let trace_cache_mutex = Mutex.create ()
+
 let distributions name =
-  match Hashtbl.find_opt trace_cache name with
+  match
+    Mutex.protect trace_cache_mutex (fun () ->
+        Hashtbl.find_opt trace_cache name)
+  with
   | Some d -> d
   | None ->
     let r = Bench_run.load (Workloads.Registry.find name) in
@@ -20,8 +28,18 @@ let distributions name =
         (predictors_for r)
     in
     let d = List.map Tracing.Ipbc.of_result results in
-    Hashtbl.replace trace_cache name d;
+    Mutex.protect trace_cache_mutex (fun () ->
+        Hashtbl.replace trace_cache name d);
     d
+
+let warm () =
+  ignore
+    (Par.Pool.parallel_map_list (Par.Pool.get ())
+       (fun (wl : Workloads.Workload.t) -> distributions wl.name)
+       (Workloads.Registry.traced ()))
+
+let reset () =
+  Mutex.protect trace_cache_mutex (fun () -> Hashtbl.reset trace_cache)
 
 let lengths = [ 10; 20; 50; 100; 200; 500; 1000; 2000; 5000; 10000 ]
 
@@ -80,6 +98,7 @@ let graph_for ppf name =
   end
 
 let graphs4_11 ppf =
+  warm ();
   List.iter
     (fun (wl : Workloads.Workload.t) ->
       graph_for ppf wl.name;

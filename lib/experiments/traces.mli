@@ -16,7 +16,15 @@ val graph_for : Format.formatter -> string -> unit
 
 val graphs4_11 : Format.formatter -> unit
 (** All traced workloads (gcc, lcc, qpt, xlisp, doduc, fpppp,
-    spice2g6). *)
+    spice2g6).  Calls {!warm} first, then prints in registry order. *)
+
+val warm : unit -> unit
+(** Generate (and cache) the trace distributions of every traced
+    workload, one workload per task on the {!Par.Pool} default pool. *)
+
+val reset : unit -> unit
+(** Drop the trace memo table (used by the benchmark harness to time
+    cold runs). *)
 
 val graph12 : Format.formatter -> unit
 (** The model y = 1 - (1-m)^s for m in 0.025 .. 0.30. *)

@@ -15,10 +15,16 @@ let make ?(spec = false) ?(traced = false) ~name ~description ~lang ~datasets
   if datasets = [] then invalid_arg "Workload.make: no datasets";
   { name; description; lang; spec; source; datasets; traced }
 
+(* The compile cache is shared across domains; the mutex guards the
+   table only — compilation itself runs unlocked (a racing duplicate
+   compile is deterministic, so last-write-wins is harmless). *)
 let cache : (string, Mips.Program.t) Hashtbl.t = Hashtbl.create 32
+let cache_mutex = Mutex.create ()
 
 let compile wl =
-  match Hashtbl.find_opt cache wl.name with
+  match
+    Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache wl.name)
+  with
   | Some p -> p
   | None ->
     let p =
@@ -26,8 +32,11 @@ let compile wl =
       | Minic.Frontend.Error msg ->
         failwith (Printf.sprintf "workload %s: %s" wl.name msg)
     in
-    Hashtbl.replace cache wl.name p;
+    Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache wl.name p);
     p
+
+let reset_cache () =
+  Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
 
 let primary_dataset wl = List.hd wl.datasets
 

@@ -31,7 +31,12 @@ val make :
   lang:lang -> datasets:Sim.Dataset.t list -> string -> t
 
 val compile : t -> Mips.Program.t
-(** Compile the workload (memoised per workload name). *)
+(** Compile the workload (memoised per workload name; safe to call
+    from multiple domains). *)
+
+val reset_cache : unit -> unit
+(** Drop the compile memo table (used by the benchmark harness to time
+    cold runs). *)
 
 val primary_dataset : t -> Sim.Dataset.t
 

@@ -1,0 +1,132 @@
+(* Tests for the lib/par domain pool: fork-join correctness, result
+   determinism across pool widths, exception propagation. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let with_pool jobs f =
+  let p = Par.Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Par.Pool.shutdown p) (fun () -> f p)
+
+let widths = [ 1; 2; 3; 4 ]
+
+let test_jobs_clamped () =
+  with_pool 0 (fun p -> checki "clamped to 1" 1 (Par.Pool.jobs p));
+  with_pool 3 (fun p -> checki "width kept" 3 (Par.Pool.jobs p))
+
+let test_run_covers_every_index () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun p ->
+          List.iter
+            (fun n ->
+              let hits = Array.make (max n 1) 0 in
+              Par.Pool.run p n (fun i ->
+                  (* each slot is written by exactly one task *)
+                  hits.(i) <- hits.(i) + 1);
+              Array.iter (fun h -> checki "hit exactly once" (min n 1) h)
+                (if n = 0 then [| 0 |] else hits))
+            [ 0; 1; 7; 64; 1000 ]))
+    widths
+
+let test_parallel_map_matches_sequential () =
+  let input = Array.init 257 (fun i -> (i * 37) mod 101) in
+  let f x = (x * x) + 1 in
+  let expected = Array.map f input in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun p ->
+          checkb "map equals sequential" true
+            (Par.Pool.parallel_map p f input = expected);
+          checkb "map_list equals sequential" true
+            (Par.Pool.parallel_map_list p f (Array.to_list input)
+            = Array.to_list expected)))
+    widths
+
+let test_parallel_for_chunked () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun p ->
+          let n = 1000 in
+          let sum = Atomic.make 0 in
+          Par.Pool.parallel_for p ~chunk:17 n (fun i ->
+              ignore (Atomic.fetch_and_add sum i));
+          checki "sum of 0..n-1" (n * (n - 1) / 2) (Atomic.get sum)))
+    widths
+
+let test_reduce_merges_in_chunk_order () =
+  (* [map] returns its chunk bounds; a non-commutative merge
+     (concatenation) must still see chunks in ascending order at every
+     pool width. *)
+  let expected =
+    Par.Pool.reduce
+      (Par.Pool.create ~jobs:1)
+      ~n:103 ~chunk:10
+      ~map:(fun lo hi -> [ (lo, hi) ])
+      ~merge:(fun a b -> a @ b)
+      ~init:[]
+  in
+  checki "11 chunks" 11 (List.length expected);
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun p ->
+          let got =
+            Par.Pool.reduce p ~n:103 ~chunk:10
+              ~map:(fun lo hi -> [ (lo, hi) ])
+              ~merge:(fun a b -> a @ b)
+              ~init:[]
+          in
+          checkb "chunk order independent of width" true (got = expected)))
+    widths
+
+exception Boom
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun p ->
+          match Par.Pool.run p 64 (fun i -> if i = 13 then raise Boom) with
+          | () -> Alcotest.fail "expected the task exception to surface"
+          | exception Boom -> ()))
+    widths;
+  (* the pool survives a failed job *)
+  with_pool 4 (fun p ->
+      (try Par.Pool.run p 8 (fun _ -> raise Boom) with Boom -> ());
+      let sum = Atomic.make 0 in
+      Par.Pool.run p 8 (fun i -> ignore (Atomic.fetch_and_add sum i));
+      checki "pool still works" 28 (Atomic.get sum))
+
+let test_nested_data_parallel_sections () =
+  (* back-to-back jobs on one pool reuse the same workers *)
+  with_pool 4 (fun p ->
+      for round = 1 to 50 do
+        let out = Par.Pool.parallel_map p (fun x -> x + round) [| 1; 2; 3 |] in
+        checkb "round result" true (out = [| 1 + round; 2 + round; 3 + round |])
+      done)
+
+let test_default_pool_set_jobs () =
+  Par.Pool.set_jobs 3;
+  checki "requested width" 3 (Par.Pool.default_jobs ());
+  checki "pool width follows" 3 (Par.Pool.jobs (Par.Pool.get ()));
+  Par.Pool.set_jobs 1;
+  checki "re-created narrower" 1 (Par.Pool.jobs (Par.Pool.get ()))
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
+          Alcotest.test_case "run covers indices" `Quick
+            test_run_covers_every_index;
+          Alcotest.test_case "map matches sequential" `Quick
+            test_parallel_map_matches_sequential;
+          Alcotest.test_case "chunked for" `Quick test_parallel_for_chunked;
+          Alcotest.test_case "reduce chunk order" `Quick
+            test_reduce_merges_in_chunk_order;
+          Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+          Alcotest.test_case "job reuse" `Quick
+            test_nested_data_parallel_sections;
+          Alcotest.test_case "default pool" `Quick test_default_pool_set_jobs;
+        ] );
+    ]

@@ -619,6 +619,78 @@ let test_subset_respects_max_trials () =
   let r = Predict.Subset.run ~k:4 ~max_trials:10 m in
   checki "capped" 10 r.trials
 
+let test_unrank_rank_roundtrip () =
+  (* exhaustive over every (n, k, rank) for small n: unrank produces a
+     sorted combination, rank inverts it, and enumeration order is
+     lexicographic *)
+  for n = 1 to 9 do
+    for k = 1 to n do
+      let total = Predict.Subset.choose n k in
+      let prev = ref [||] in
+      for r = 0 to total - 1 do
+        let comb = Predict.Subset.unrank ~n ~k r in
+        checki "rank inverts unrank" r (Predict.Subset.rank ~n ~k comb);
+        let sorted = Array.copy comb in
+        Array.sort compare sorted;
+        checkb "sorted members" true (comb = sorted);
+        if r > 0 then checkb "lexicographic order" true (!prev < comb);
+        prev := comb
+      done
+    done
+  done;
+  checkb "first combination" true
+    (Predict.Subset.unrank ~n:22 ~k:11 0 = Array.init 11 Fun.id);
+  checkb "last combination" true
+    (Predict.Subset.unrank ~n:22 ~k:11 (Predict.Subset.choose 22 11 - 1)
+    = Array.init 11 (fun i -> 11 + i))
+
+let prop_unrank_rank_roundtrip =
+  QCheck.Test.make ~name:"subset unrank/rank roundtrip (n=22,k=11)" ~count:500
+    QCheck.(make Gen.(int_range 0 (Predict.Subset.choose 22 11 - 1)))
+    (fun r ->
+      Predict.Subset.rank ~n:22 ~k:11 (Predict.Subset.unrank ~n:22 ~k:11 r)
+      = r)
+
+(* The parallel enumeration must be bit-identical at any domain count. *)
+let with_jobs jobs f =
+  Par.Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Par.Pool.set_jobs 1) f
+
+let random_matrix nb no seed =
+  (* deterministic pseudo-random miss matrix in [0, 1) *)
+  Array.init nb (fun b ->
+      Array.init no (fun o ->
+          let h = (((b * 7919) + (o * 104729) + seed) * 2654435761) land 0xFFFFF in
+          float_of_int h /. 1048576.))
+
+let prop_subset_run_j1_equals_j4 =
+  QCheck.Test.make ~name:"Subset.run identical at -j 1 and -j 4" ~count:25
+    QCheck.(make Gen.(triple (int_range 4 17) (int_range 2 30) (int_range 0 1000)))
+    (fun (nb, no, seed) ->
+      (* nb up to 17 gives C(17,8) = 24,310 trials: several 8,192-trial
+         chunks, so the cross-chunk merge is exercised *)
+      let m = random_matrix nb no seed in
+      let k = (nb + 1) / 2 in
+      let r1 = with_jobs 1 (fun () -> Predict.Subset.run ~k m) in
+      let r4 = with_jobs 4 (fun () -> Predict.Subset.run ~k m) in
+      r1 = r4)
+
+let test_miss_matrix_j1_equals_j4 () =
+  let _, db1 =
+    build
+      "int main() { int i; int s = 0; for (i = 0; i < 40; i++) { if (i % 5 \
+       == 0) { s += i; } } print(s); return 0; }"
+  in
+  let _, db2 =
+    build
+      "int main() { int i; int p = 1; for (i = 1; i < 20; i++) { if (i % 3 \
+       != 0) { p += i * 2; } } print(p); return 0; }"
+  in
+  let dbs = [| db1; db2 |] in
+  let m1 = with_jobs 1 (fun () -> Predict.Ordering.miss_matrix dbs) in
+  let m4 = with_jobs 4 (fun () -> Predict.Ordering.miss_matrix dbs) in
+  checkb "parallel miss matrix identical at -j 1 and -j 4" true (m1 = m4)
+
 let prop_subset_total_wins =
   QCheck.Test.make ~name:"subset: wins sum to trials" ~count:30
     QCheck.(make Gen.(pair (int_range 3 7) (int_range 1 3)))
@@ -693,12 +765,21 @@ let () =
             test_order_roundtrip_exhaustive;
           Alcotest.test_case "all distinct" `Quick test_all_orders_distinct;
           Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "unrank/rank roundtrip" `Quick
+            test_unrank_rank_roundtrip;
           Alcotest.test_case "subset small" `Quick test_subset_run_small;
           Alcotest.test_case "subset max trials" `Quick
             test_subset_respects_max_trials;
+          Alcotest.test_case "miss matrix -j1 = -j4" `Quick
+            test_miss_matrix_j1_equals_j4;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_order_roundtrip; prop_subset_total_wins; prop_perfect_is_optimal ]
-      );
+          [
+            prop_order_roundtrip;
+            prop_unrank_rank_roundtrip;
+            prop_subset_run_j1_equals_j4;
+            prop_subset_total_wins;
+            prop_perfect_is_optimal;
+          ] );
     ]
