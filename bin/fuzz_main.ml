@@ -1,0 +1,77 @@
+(* fuzz: differential fuzzer for the MiniC -> MIPS -> prediction
+   pipeline.
+
+   Generates seeded random MiniC programs and cross-checks the AST
+   interpreter against the compiled simulator, edge-profile flow
+   consistency, the branch database against an independent
+   re-derivation, and -j determinism of the ordering experiments.
+   Failing cases are shrunk to minimal reproducers under
+   _fuzz_failures/.  Exit status is the number of failing cases
+   (capped at 99), so `fuzz --seed 42 --count 500` doubles as a CI
+   gate. *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Run seed; every case derives its own seed from it." in
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let count_arg =
+  let doc = "Number of random programs to generate and check." in
+  Arg.(value & opt int 500 & info [ "n"; "count" ] ~docv:"N" ~doc)
+
+let size_arg =
+  let doc = "Statement-budget ceiling for generated programs." in
+  Arg.(value & opt int Fuzz.Harness.default.max_size
+       & info [ "size" ] ~docv:"N" ~doc)
+
+let det_arg =
+  let doc =
+    "Run the (slow) -j determinism oracle every $(docv) cases; 0 \
+     disables it."
+  in
+  Arg.(value & opt int Fuzz.Harness.default.det_every
+       & info [ "det-every" ] ~docv:"N" ~doc)
+
+let dir_arg =
+  let doc = "Directory for shrunk failing reproducers." in
+  Arg.(value & opt string Fuzz.Harness.default.failure_dir
+       & info [ "failure-dir" ] ~docv:"DIR" ~doc)
+
+let dump_arg =
+  let doc =
+    "Print the generated source of case $(docv) and exit (debugging \
+     aid; no oracles run)."
+  in
+  Arg.(value & opt (some int) None & info [ "dump" ] ~docv:"CASE" ~doc)
+
+let run seed count max_size det_every failure_dir dump =
+  match dump with
+  | Some i ->
+    let cs = Fuzz.Gen.case_seed ~seed ~index:i in
+    let size = 6 + (cs land max_int) mod (max 1 (max_size - 5)) in
+    print_string (Fuzz.Gen.to_source (Fuzz.Gen.generate ~seed:cs ~size))
+  | None ->
+    let cfg =
+      { Fuzz.Harness.seed; count; max_size; det_every; failure_dir }
+    in
+    let t0 = Unix.gettimeofday () in
+    let outcome = Fuzz.Harness.run ~log:print_endline cfg in
+    let dt = Unix.gettimeofday () -. t0 in
+    let nfail = List.length outcome.failures in
+    Printf.printf "%d cases, %d divergence(s), %.1fs (seed %d)\n"
+      outcome.cases nfail dt seed;
+    if nfail > 0 then begin
+      Printf.printf "reproducers under %s/\n" failure_dir;
+      exit (min 99 nfail)
+    end
+
+let cmd =
+  let doc = "differential fuzzer for the branch-prediction pipeline" in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ seed_arg $ count_arg $ size_arg $ det_arg $ dir_arg
+      $ dump_arg)
+
+let () = exit (Cmd.eval cmd)

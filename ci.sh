@@ -1,0 +1,14 @@
+#!/bin/sh
+# Pre-merge check: tier-1 (build + unit/property tests + golden
+# snapshots) then tier-2 (fixed-seed differential fuzz smoke).
+# See TESTING.md.
+set -eu
+
+echo "== tier 1: dune build && dune runtest"
+dune build
+dune runtest
+
+echo "== tier 2: fuzz smoke (@fuzz-smoke)"
+dune build @fuzz-smoke
+
+echo "CI OK"

@@ -12,9 +12,18 @@ type source =
   | By of Heuristic.t
   | Default
 
-let predict_non_loop order (br : Database.branch) =
+(* The Default coin.  With no explicit seed the database's baked
+   per-branch bit is used; an explicit seed recomputes the same
+   deterministic coin for that seed, so predictions are reproducible
+   without rebuilding the database. *)
+let default_bit ?seed (br : Database.branch) =
+  match seed with
+  | None -> br.rand_pred
+  | Some seed -> Database.rand_bit ~seed ~proc:br.proc ~pc:br.pc
+
+let predict_non_loop ?seed order (br : Database.branch) =
   let rec go = function
-    | [] -> (br.rand_pred, Default)
+    | [] -> (default_bit ?seed br, Default)
     | h :: rest -> begin
       match br.heur.(Heuristic.to_int h) with
       | Some dir -> (dir, By h)
@@ -23,15 +32,15 @@ let predict_non_loop order (br : Database.branch) =
   in
   go order
 
-let predict order (br : Database.branch) =
+let predict ?seed order (br : Database.branch) =
   match br.cls with
   | Classify.Loop_branch -> br.loop_pred
-  | Classify.Non_loop_branch -> fst (predict_non_loop order br)
+  | Classify.Non_loop_branch -> fst (predict_non_loop ?seed order br)
 
-let loop_rand_predict (br : Database.branch) =
+let loop_rand_predict ?seed (br : Database.branch) =
   match br.cls with
   | Classify.Loop_branch -> br.loop_pred
-  | Classify.Non_loop_branch -> br.rand_pred
+  | Classify.Non_loop_branch -> default_bit ?seed br
 
 let perfect_predict (br : Database.branch) =
   br.taken_count >= br.fall_count

@@ -20,16 +20,23 @@ type source =
   | By of Heuristic.t  (** first applicable heuristic *)
   | Default            (** no heuristic applied: random *)
 
-val predict_non_loop : order -> Database.branch -> bool * source
-(** Prediction for a non-loop branch under the given ordering. *)
+val predict_non_loop : ?seed:int -> order -> Database.branch -> bool * source
+(** Prediction for a non-loop branch under the given ordering.  The
+    Default fallback is always a deterministic function of a seed and
+    the branch's address: with [?seed] absent it reads the coin baked
+    into the database (from {!Database.make}'s seed); an explicit
+    [~seed] recomputes {!Database.rand_bit} under that seed instead,
+    so alternative-seed experiments are reproducible without
+    rebuilding the database. *)
 
-val predict : order -> Database.branch -> bool
+val predict : ?seed:int -> order -> Database.branch -> bool
 (** Full predictor: loop predictor on loop branches, ordered
-    heuristics plus Default on non-loop branches. *)
+    heuristics plus Default on non-loop branches.  [?seed] as in
+    {!predict_non_loop}. *)
 
-val loop_rand_predict : Database.branch -> bool
+val loop_rand_predict : ?seed:int -> Database.branch -> bool
 (** The Loop+Rand baseline: loop predictor on loop branches, random on
-    non-loop branches. *)
+    non-loop branches.  [?seed] as in {!predict_non_loop}. *)
 
 val perfect_predict : Database.branch -> bool
 (** The perfect static predictor (dataset dependent): the more

@@ -90,12 +90,11 @@ let seeds ppf =
         let misses =
           List.map
             (fun (r : Bench_run.t) ->
-              let db =
-                Predict.Database.make ~seed r.prog r.analyses
-                  ~taken:r.profile.taken ~fall:r.profile.fall
-              in
-              M.miss_rate (Predict.Combined.predict order)
-                (Array.to_list db.branches))
+              (* [~seed] recomputes the Default coin under this seed
+                 without rebuilding the database. *)
+              M.miss_rate
+                (Predict.Combined.predict ~seed order)
+                (Array.to_list r.db.branches))
             (Bench_run.load_all ())
         in
         let m, s = Stats.mean_std misses in

@@ -1,0 +1,35 @@
+(** Differential oracles over the whole pipeline.
+
+    Each oracle takes a MiniC source (usually one grown by {!Gen}) and
+    cross-checks two independent computations of the same fact:
+
+    - {b interp-vs-machine}: the AST interpreter and the compiled
+      program running on the simulator must produce the same output
+      checksum and consume the same inputs;
+    - {b opt-vs-unopt}: the peephole optimiser must not change
+      observable behaviour;
+    - {b flow}: the edge profile must be flow-consistent — every
+      block's in-flow equals its out-flow, procedure entries balance
+      call sites, and program entry balances exit ({!Cfg.Flow});
+    - {b predict}: the branch database must agree with an independent
+      re-derivation — classification from the CFG analyses, the
+      Default coin from {!Predict.Database.rand_bit}, and the combined
+      predictor honouring the loop/non-loop partition;
+    - {b par-determinism} (optional, slower): the 5040-order miss
+      matrix computed at [-j 1] and [-j 4] must be byte-identical.
+
+    A reported {!divergence} means a real bug somewhere in the
+    pipeline (or in the generator's invariants). *)
+
+type divergence = {
+  oracle : string;  (** which oracle tripped *)
+  detail : string;  (** human-readable description of the mismatch *)
+}
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+val check_source : ?det_check:bool -> string -> divergence list
+(** Run every oracle on one MiniC source.  Compilation or runtime
+    faults are themselves reported as divergences (generated programs
+    are fault-free by construction).  [det_check] (default [false])
+    additionally runs the par-determinism oracle. *)

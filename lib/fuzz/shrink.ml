@@ -1,0 +1,175 @@
+open Gen
+
+(* drop Break/Continue that are not enclosed by a loop inside [stmts]
+   — used when a loop body is hoisted into its parent context *)
+let rec strip_bc stmts =
+  List.filter_map
+    (fun s ->
+      match s with
+      | Break | Continue -> None
+      | If (c, t, e) -> Some (If (c, strip_bc t, strip_bc e))
+      | Switch (e, cs, d) ->
+        Some
+          (Switch (e, List.map (fun (v, b) -> (v, strip_bc b)) cs, strip_bc d))
+      | For _ | While _ | DoWhile _ -> Some s (* loops keep their own BC *)
+      | _ -> Some s)
+    stmts
+
+(* does any expression or statement reference helper [idx]? *)
+let rec iexpr_refs idx = function
+  | CallE (i, args) -> i = idx || List.exists (iexpr_refs idx) args
+  | Ci _ | Gv _ | Lv _ | Deref _ -> false
+  | Arr e | Hp e | Un (_, e) -> iexpr_refs idx e
+  | Bin (_, a, b) -> iexpr_refs idx a || iexpr_refs idx b
+  | Tern (a, b, c) -> iexpr_refs idx a || iexpr_refs idx b || iexpr_refs idx c
+  | Fcmpi (_, a, b) -> fexpr_refs idx a || fexpr_refs idx b
+  | Pcmp (_, a, b) -> pexpr_refs idx a || pexpr_refs idx b
+
+and fexpr_refs idx = function
+  | Cf _ | Fg | Flv _ -> false
+  | Fbin (_, a, b) -> fexpr_refs idx a || fexpr_refs idx b
+  | Fdivc (a, _) -> fexpr_refs idx a
+  | Foi e -> iexpr_refs idx e
+
+and pexpr_refs idx = function
+  | Pnull | Pv _ -> false
+  | Pga e -> iexpr_refs idx e
+
+let ilhs_refs idx = function
+  | LArr e | LHp e -> iexpr_refs idx e
+  | LGv _ | LLv _ | LDeref _ -> false
+
+let rec stmt_refs idx = function
+  | Iassign (l, _, e) -> ilhs_refs idx l || iexpr_refs idx e
+  | Fassign (_, e) -> fexpr_refs idx e
+  | Passign (_, p) -> pexpr_refs idx p
+  | If (c, t, e) ->
+    iexpr_refs idx c
+    || List.exists (stmt_refs idx) t
+    || List.exists (stmt_refs idx) e
+  | For (_, _, b) | While (_, _, b) | DoWhile (_, _, b) ->
+    List.exists (stmt_refs idx) b
+  | Switch (e, cs, d) ->
+    iexpr_refs idx e
+    || List.exists (fun (_, b) -> List.exists (stmt_refs idx) b) cs
+    || List.exists (stmt_refs idx) d
+  | SPrint e -> iexpr_refs idx e
+  | SPrintF e -> fexpr_refs idx e
+  | SCall (i, args) -> i = idx || List.exists (iexpr_refs idx) args
+  | Ret e -> iexpr_refs idx e
+  | Break | Continue -> false
+
+let prog_refs idx (p : program) =
+  List.exists (stmt_refs idx) p.main_body
+  || Array.exists
+       (fun f -> List.exists (stmt_refs idx) f.body || iexpr_refs idx f.ret)
+       p.helpers
+
+(* lazy sequence helpers *)
+let ( ++ ) = Seq.append
+
+let seq_of_list l = List.to_seq l
+
+(* one-step shrinks of a single statement *)
+let rec shrink_stmt s : stmt Seq.t =
+  match s with
+  | If (c, t, e) ->
+    (if e <> [] then Seq.return (If (c, t, [])) else Seq.empty)
+    ++ Seq.map (fun t' -> If (c, t', e)) (shrink_stmts t)
+    ++ Seq.map (fun e' -> If (c, t, e')) (shrink_stmts e)
+  | For (v, k, b) ->
+    (if k > 1 then Seq.return (For (v, 1, b)) else Seq.empty)
+    ++ Seq.map (fun b' -> For (v, k, b')) (shrink_stmts b)
+  | While (v, k, b) ->
+    (if k > 1 then Seq.return (While (v, 1, b)) else Seq.empty)
+    ++ Seq.map (fun b' -> While (v, k, b')) (shrink_stmts b)
+  | DoWhile (v, k, b) ->
+    (if k > 1 then Seq.return (DoWhile (v, 1, b)) else Seq.empty)
+    ++ Seq.map (fun b' -> DoWhile (v, k, b')) (shrink_stmts b)
+  | Switch (e, cases, d) ->
+    (* drop one case *)
+    seq_of_list
+      (List.mapi
+         (fun i _ ->
+           Switch (e, List.filteri (fun j _ -> j <> i) cases, d))
+         cases)
+    ++ seq_of_list
+         (List.concat
+            (List.mapi
+               (fun i (v, b) ->
+                 List.of_seq
+                   (Seq.map
+                      (fun b' ->
+                        Switch
+                          ( e,
+                            List.mapi
+                              (fun j cb -> if j = i then (v, b') else cb)
+                              cases,
+                            d ))
+                      (shrink_stmts b)))
+               cases))
+    ++ Seq.map (fun d' -> Switch (e, cases, d')) (shrink_stmts d)
+  | Iassign (l, op, e) when not (op = "=" && e = Ci 0) ->
+    Seq.return (Iassign (l, "=", Ci 0))
+  | SPrint e when e <> Ci 0 -> Seq.return (SPrint (Ci 0))
+  | SPrintF e when e <> Cf 0.5 -> Seq.return (SPrintF (Cf 0.5))
+  | Ret e when e <> Ci 0 -> Seq.return (Ret (Ci 0))
+  | _ -> Seq.empty
+
+(* one-step shrinks of a statement list: removal, hoisting a nested
+   body in place, or shrinking one element *)
+and shrink_stmts stmts : stmt list Seq.t =
+  let arr = Array.of_list stmts in
+  let n = Array.length arr in
+  let replace i repl =
+    List.concat
+      (List.mapi
+         (fun j s -> if j = i then repl else [ s ])
+         stmts)
+  in
+  let at i =
+    let s = arr.(i) in
+    (* removal first: the biggest single step *)
+    Seq.return (replace i [])
+    ++ (match s with
+       | If (_, t, e) ->
+         seq_of_list [ replace i t; replace i e ]
+       | For (_, _, b) | While (_, _, b) | DoWhile (_, _, b) ->
+         Seq.return (replace i (strip_bc b))
+       | Switch (_, cases, d) ->
+         seq_of_list (List.map (fun (_, b) -> replace i b) cases)
+         ++ Seq.return (replace i d)
+       | _ -> Seq.empty)
+    ++ Seq.map (fun s' -> replace i [ s' ]) (shrink_stmt s)
+  in
+  Seq.concat_map at (Seq.init n Fun.id)
+
+let candidates (p : program) : program Seq.t =
+  let nh = Array.length p.helpers in
+  (* drop the last helper when dead *)
+  (if nh > 0 && not (prog_refs (nh - 1) p) then
+     Seq.return { p with helpers = Array.sub p.helpers 0 (nh - 1) }
+   else Seq.empty)
+  ++ Seq.map (fun mb -> { p with main_body = mb }) (shrink_stmts p.main_body)
+  ++ Seq.concat_map
+       (fun i ->
+         let f = p.helpers.(i) in
+         let with_f f' =
+           { p with helpers = Array.mapi (fun j g -> if j = i then f' else g)
+                                p.helpers }
+         in
+         (if f.body <> [] then Seq.return (with_f { f with body = [] })
+          else Seq.empty)
+         ++ Seq.map (fun b -> with_f { f with body = b }) (shrink_stmts f.body)
+         ++
+         if f.ret <> Ci 0 then Seq.return (with_f { f with ret = Ci 0 })
+         else Seq.empty)
+       (Seq.init nh Fun.id)
+
+let minimize ~failing p0 =
+  let rec go p =
+    match Seq.find failing (candidates p) with
+    | Some p' -> go p'
+    | None -> p
+  in
+  go p0

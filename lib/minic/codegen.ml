@@ -704,15 +704,22 @@ and gen_icompare_branch ctx op a b ~sense ~target =
       if taken_on_eq then emit ctx (I.Beq (ra, rb, target))
       else emit ctx (I.Bne (ra, rb, target))
     | _ ->
-      (* slt/sle then test against zero *)
-      let op, a, b =
-        match op with Gt -> (Lt, b, a) | Ge -> (Le, b, a) | _ -> (op, a, b)
-      in
+      (* slt/sle then test against zero; Gt/Ge feed the compare with
+         swapped registers, but operands still evaluate in source
+         order (the interpreter is left-to-right) *)
       let va = gen_operand ctx a in
       let vb = gen_operand ctx b in
       let ra = ireg va and rb = ireg vb in
+      let alu, lhs, rhs =
+        match op with
+        | Lt -> (I.Slt, ra, rb)
+        | Le -> (I.Sle, ra, rb)
+        | Gt -> (I.Slt, rb, ra)
+        | Ge -> (I.Sle, rb, ra)
+        | _ -> assert false
+      in
       let t = alloc_itemp ctx in
-      emit ctx (I.Alu ((if op = Lt then I.Slt else I.Sle), t, ra, I.Reg rb));
+      emit ctx (I.Alu (alu, t, lhs, I.Reg rhs));
       free_itemp ctx t;
       free_operand ctx vb;
       free_operand ctx va;
@@ -732,20 +739,26 @@ and to_float_operand ctx v =
     end
 
 and gen_fcompare_branch ctx op a b ~sense ~target =
-  let op, a, b =
-    match op with Gt -> (Lt, b, a) | Ge -> (Le, b, a) | _ -> (op, a, b)
-  in
+  (* same source-order rule as the integer compares: Gt/Ge swap only
+     the registers fed to the compare, never the evaluation order *)
   let va = to_float_operand ctx (gen_operand ctx a) in
   let vb = to_float_operand ctx (gen_operand ctx b) in
+  let fa, fb =
+    match op with
+    | Gt | Ge -> (freg vb, freg va)
+    | _ -> (freg va, freg vb)
+  in
   let fcmp, bfp_sense =
     match op with
     | Eq -> (I.Feq, sense)
     | Ne -> (I.Feq, not sense)
     | Lt -> (I.Flt, sense)
     | Le -> (I.Fle, sense)
+    | Gt -> (I.Flt, sense)
+    | Ge -> (I.Fle, sense)
     | _ -> assert false
   in
-  emit ctx (I.Fcmp (fcmp, freg va, freg vb));
+  emit ctx (I.Fcmp (fcmp, fa, fb));
   free_operand ctx vb;
   free_operand ctx va;
   emit ctx (I.Bfp (bfp_sense, target))

@@ -160,9 +160,12 @@ let rec eval st frame (e : expr) : value =
     match ta, tb with
     | Tptr _, Tptr _ -> begin
       let x = as_int (eval st frame a) and y = as_int (eval st frame b) in
-      let size = match ta with Tptr t -> Sema.sizeof st.c t | _ -> 1 in
+      (* sizeof only for difference: comparisons must work on [null],
+         whose pointee type is void *)
       match op with
-      | Sub -> VInt ((x - y) / size)
+      | Sub ->
+        let size = match ta with Tptr t -> Sema.sizeof st.c t | _ -> 1 in
+        VInt ((x - y) / size)
       | Eq -> VInt (if x = y then 1 else 0)
       | Ne -> VInt (if x <> y then 1 else 0)
       | Lt -> VInt (if x < y then 1 else 0)

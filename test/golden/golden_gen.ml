@@ -1,0 +1,22 @@
+(* Writes every experiment's quick-run table to <id>.out in the
+   current directory.  The runtest alias diffs each file against the
+   committed <id>.expected snapshot; regenerate with
+
+     dune build @golden && dune promote
+
+   Output is byte-identical at any -j (the parallel sections all use
+   deterministic decompositions), so the snapshots are stable across
+   machines and pool widths. *)
+
+let () =
+  Experiments.Driver.prewarm ();
+  List.iter
+    (fun (e : Experiments.Driver.experiment) ->
+      let oc = open_out (e.id ^ ".out") in
+      let ppf = Format.formatter_of_out_channel oc in
+      (match e.quick_run with
+      | Some quick -> quick ppf
+      | None -> e.run ppf);
+      Format.pp_print_flush ppf ();
+      close_out oc)
+    Experiments.Driver.all

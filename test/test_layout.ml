@@ -198,6 +198,115 @@ let test_layout_idempotent_code_size () =
   let size1 = Mips.Program.code_size once in
   checkb "code growth bounded" true (size1 < size0 + (size0 / 4) + 16)
 
+(* ---- corner-case CFGs: single block, self-loop, all-backedge ---- *)
+
+(* hand-assemble a one-procedure program from (label, insn) items *)
+let asm_proc items =
+  let prog =
+    Mips.Program.make ~entry:"p"
+      [ ("p", List.concat_map (fun (l, i) -> [ Mips.Asm.Lab l; Mips.Asm.Ins i ]) items) ]
+  in
+  prog.procs.(0)
+
+let test_layout_single_block () =
+  (* a function that is one block: layout must be the identity up to
+     relabeling, and never consult the predictor *)
+  let p = asm_proc [ ("B0", I.Ret) ] in
+  let q =
+    Predict.Layout.reorder_proc p ~predict:(fun ~block:_ ->
+        Alcotest.fail "predictor consulted for a branchless proc")
+  in
+  checki "same length" (Array.length p.body) (Array.length q.body);
+  checkb "still returns" true (Array.exists (fun i -> i = I.Ret) q.body)
+
+let test_layout_self_loop () =
+  (* B0 branches to itself then falls to a return: the self edge must
+     survive re-linearisation in either predicted direction *)
+  List.iter
+    (fun dir ->
+      let p = asm_proc [ ("B0", I.Beq (t0, t1, "B0")); ("B1", I.Ret) ] in
+      let q = Predict.Layout.reorder_proc p ~predict:(fun ~block:_ -> dir) in
+      let g = Cfg.Graph.build q in
+      let self_edge =
+        Array.exists
+          (fun b ->
+            List.exists
+              (fun (e : Cfg.Graph.edge) -> e.src = b && e.dst = b)
+              g.succs.(b))
+          (Array.init g.nblocks Fun.id)
+      in
+      checkb "self edge survives" true self_edge;
+      checkb "a return survives" true
+        (Array.exists (fun i -> i = I.Ret) q.body))
+    [ true; false ]
+
+(* entry jumps into B2, B2 jumps to B1, and B1's branch goes back to
+   B0 (taken) or B2 (fall).  Both of B1's successors dominate it, so
+   both outgoing edges are backedges. *)
+let both_backedges_proc () =
+  asm_proc
+    [ ("B0", I.J "B2"); ("B1", I.Beq (t0, t1, "B0")); ("B2", I.J "B1") ]
+
+let test_both_successors_backedges () =
+  let p = both_backedges_proc () in
+  let analysis =
+    (Cfg.Analysis.of_program
+       (Mips.Program.make ~entry:"p"
+          [ ("p",
+             [ Mips.Asm.Lab "B0"; Mips.Asm.Ins (I.J "B2");
+               Mips.Asm.Lab "B1"; Mips.Asm.Ins (I.Beq (t0, t1, "B0"));
+               Mips.Asm.Lab "B2"; Mips.Asm.Ins (I.J "B1") ])
+          ])).(0)
+  in
+  let g = analysis.graph in
+  (* find the conditional branch and its successors *)
+  let rec find_branch b =
+    if b >= g.Cfg.Graph.nblocks then Alcotest.fail "no conditional branch"
+    else
+      match Cfg.Graph.branch_edges g b with
+      | Some (t, f) -> (t.Cfg.Graph.src, t.dst, f.dst)
+      | None -> find_branch (b + 1)
+  in
+  let src, tdst, fdst = find_branch 0 in
+  checkb "taken edge is a backedge" true
+    (Cfg.Loops.is_backedge analysis.loops ~src ~dst:tdst);
+  checkb "fall edge is a backedge" true
+    (Cfg.Loops.is_backedge analysis.loops ~src ~dst:fdst);
+  checkb "classified as loop branch" true
+    (Predict.Classify.classify analysis ~block:src ~taken:tdst ~fall:fdst
+    = Predict.Classify.Loop_branch);
+  (* the loop predictor must still commit to a direction, and the
+     extended heuristics must not crash on this shape *)
+  ignore
+    (Predict.Classify.loop_predict analysis ~block:src ~taken:tdst ~fall:fdst);
+  List.iter
+    (fun h ->
+      ignore
+        (Predict.Heuristic_ext.apply h analysis ~block:src ~taken:tdst
+           ~fall:fdst))
+    Predict.Heuristic_ext.all;
+  (* layout may merge blocks (straightening jumps) but the
+     conditional branch and both of its outgoing edges must survive *)
+  let q = Predict.Layout.reorder_proc p ~predict:(fun ~block:_ -> true) in
+  let g' = Cfg.Graph.build q in
+  let branch_survives =
+    Array.exists
+      (fun b -> Cfg.Graph.branch_edges g' b <> None)
+      (Array.init g'.nblocks Fun.id)
+  in
+  checkb "branch survives layout" true branch_survives
+
+let test_heuristic_ext_single_block () =
+  (* extended heuristics on a branchless single-block proc: nothing to
+     ask, but analysis construction must still work *)
+  let analysis =
+    (Cfg.Analysis.of_program
+       (Mips.Program.make ~entry:"p" [ ("p", [ Mips.Asm.Ins I.Ret ]) ])).(0)
+  in
+  checki "one block" 1 analysis.graph.nblocks;
+  checkb "no branch edges" true
+    (Cfg.Graph.branch_edges analysis.graph 0 = None)
+
 let () =
   Alcotest.run "layout"
     [
@@ -216,5 +325,14 @@ let () =
           Alcotest.test_case "perfect bound" `Slow
             test_layout_perfect_at_most_miss_rate;
           Alcotest.test_case "code size" `Quick test_layout_idempotent_code_size;
+        ] );
+      ( "corner cases",
+        [
+          Alcotest.test_case "single block" `Quick test_layout_single_block;
+          Alcotest.test_case "self loop" `Quick test_layout_self_loop;
+          Alcotest.test_case "both successors backedges" `Quick
+            test_both_successors_backedges;
+          Alcotest.test_case "ext on single block" `Quick
+            test_heuristic_ext_single_block;
         ] );
     ]

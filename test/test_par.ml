@@ -104,6 +104,33 @@ let test_nested_data_parallel_sections () =
         checkb "round result" true (out = [| 1 + round; 2 + round; 3 + round |])
       done)
 
+let test_fewer_tasks_than_jobs () =
+  (* a wide pool fed less work than it has domains: every index still
+     runs exactly once, chunking degenerates to a single chunk, and
+     reduce still merges in ascending chunk order *)
+  with_pool 8 (fun p ->
+      let hits = Array.make 3 0 in
+      Par.Pool.run p 3 (fun i -> hits.(i) <- hits.(i) + 1);
+      Array.iter (checki "exactly once" 1) hits;
+      let sum = Atomic.make 0 in
+      Par.Pool.parallel_for p ~chunk:100 3 (fun i ->
+          ignore (Atomic.fetch_and_add sum (i + 1)));
+      checki "one chunk covers all" 6 (Atomic.get sum);
+      let chunks =
+        Par.Pool.reduce p ~n:3 ~chunk:64
+          ~map:(fun lo hi -> [ (lo, hi) ])
+          ~merge:( @ ) ~init:[]
+      in
+      checkb "single chunk" true (chunks = [ (0, 3) ]);
+      (* more chunks than needed to occupy the pool is also fine *)
+      let chunks =
+        Par.Pool.reduce p ~n:10 ~chunk:3
+          ~map:(fun lo hi -> [ (lo, hi) ])
+          ~merge:( @ ) ~init:[]
+      in
+      checkb "ragged tail, ascending" true
+        (chunks = [ (0, 3); (3, 6); (6, 9); (9, 10) ]))
+
 let test_default_pool_set_jobs () =
   Par.Pool.set_jobs 3;
   checki "requested width" 3 (Par.Pool.default_jobs ());
@@ -127,6 +154,8 @@ let () =
           Alcotest.test_case "exceptions" `Quick test_exception_propagates;
           Alcotest.test_case "job reuse" `Quick
             test_nested_data_parallel_sections;
+          Alcotest.test_case "fewer tasks than jobs" `Quick
+            test_fewer_tasks_than_jobs;
           Alcotest.test_case "default pool" `Quick test_default_pool_set_jobs;
         ] );
     ]

@@ -721,6 +721,89 @@ let prop_perfect_is_optimal =
       let p = D.perfect_misses br in
       p <= D.misses br true && p <= D.misses br false)
 
+(* ---- Default-coin seed threading through Combined ---- *)
+
+let mk_default_branch pc rand_pred =
+  {
+    D.proc = 0; block = 0; pc; taken_dst = 1; fall_dst = 2;
+    cls = Predict.Classify.Non_loop_branch;
+    taken_count = 5; fall_count = 5;
+    heur = Array.make H.count None;
+    loop_pred = false; rand_pred; backward = false;
+  }
+
+let test_combined_seed_threading () =
+  let order = Predict.Combined.paper_order in
+  (* no heuristic applies: without ~seed the baked coin decides *)
+  List.iter
+    (fun rp ->
+      let b = mk_default_branch 3 rp in
+      let dir, src = Predict.Combined.predict_non_loop order b in
+      checkb "default source" true (src = Predict.Combined.Default);
+      checkb "baked coin used" true (dir = rp))
+    [ true; false ];
+  (* with ~seed the coin is recomputed from the branch address —
+     whatever is baked into the record must be ignored *)
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun pc ->
+          let expect = D.rand_bit ~seed ~proc:0 ~pc in
+          let b = mk_default_branch pc (not expect) in
+          let dir, src = Predict.Combined.predict_non_loop ~seed order b in
+          checkb "recomputed source" true (src = Predict.Combined.Default);
+          checkb "recomputed coin" true (dir = expect);
+          checkb "predict agrees" true
+            (Predict.Combined.predict ~seed order b = expect);
+          checkb "loop_rand agrees" true
+            (Predict.Combined.loop_rand_predict ~seed b = expect))
+        [ 0; 1; 17; 255 ])
+    [ 1; 7; 1337 ]
+
+let test_combined_seed_matches_database () =
+  (* predict ~seed:s equals the baked-coin path on a database built
+     with seed s, for every branch *)
+  let src =
+    {| int main() { int i; int s = 0;
+       for (i = 0; i < 40; i++) { if ((i * 37) % 13 < 6) { s = s + i; } }
+       print(s); return 0; } |}
+  in
+  let prog = Minic.Frontend.compile src in
+  let analyses = Cfg.Analysis.of_program prog in
+  let profile = Sim.Profile.run prog (Sim.Dataset.make ~name:"t" [||]) in
+  let seed = 99 in
+  let db =
+    Predict.Database.make ~seed prog analyses ~taken:profile.taken
+      ~fall:profile.fall
+  in
+  checkb "has branches" true (Array.length db.branches > 0);
+  Array.iter
+    (fun (b : D.branch) ->
+      checkb "explicit seed = baked coin" true
+        (Predict.Combined.predict ~seed Predict.Combined.paper_order b
+        = Predict.Combined.predict Predict.Combined.paper_order b))
+    db.branches
+
+(* ---- Subset rank/unrank edge cases ---- *)
+
+let test_unrank_edge_cases () =
+  let module S = Predict.Subset in
+  checkb "k=0 combination" true (S.unrank ~n:5 ~k:0 0 = [||]);
+  checki "k=0 rank" 0 (S.rank ~n:5 ~k:0 [||]);
+  checkb "k=n combination" true (S.unrank ~n:5 ~k:5 0 = [| 0; 1; 2; 3; 4 |]);
+  checki "k=n rank" 0 (S.rank ~n:5 ~k:5 [| 0; 1; 2; 3; 4 |]);
+  let last = S.unrank ~n:6 ~k:3 (S.choose 6 3 - 1) in
+  checkb "maximal rank is last combination" true (last = [| 3; 4; 5 |]);
+  checki "maximal rank roundtrip" (S.choose 6 3 - 1) (S.rank ~n:6 ~k:3 last);
+  (try
+     ignore (S.unrank ~n:6 ~k:3 (S.choose 6 3));
+     Alcotest.fail "rank out of range accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (S.unrank ~n:6 ~k:3 (-1));
+     Alcotest.fail "negative rank accepted"
+   with Invalid_argument _ -> ())
+
 let () =
   Alcotest.run "predict"
     [
@@ -758,6 +841,10 @@ let () =
             test_combined_first_applicable;
           Alcotest.test_case "validate" `Quick test_validate_order;
           Alcotest.test_case "metrics" `Quick test_metrics;
+          Alcotest.test_case "seed threading" `Quick
+            test_combined_seed_threading;
+          Alcotest.test_case "seed matches database" `Quick
+            test_combined_seed_matches_database;
         ] );
       ( "orderings",
         [
@@ -767,6 +854,8 @@ let () =
           Alcotest.test_case "choose" `Quick test_choose;
           Alcotest.test_case "unrank/rank roundtrip" `Quick
             test_unrank_rank_roundtrip;
+          Alcotest.test_case "unrank/rank edges" `Quick
+            test_unrank_edge_cases;
           Alcotest.test_case "subset small" `Quick test_subset_run_small;
           Alcotest.test_case "subset max trials" `Quick
             test_subset_respects_max_trials;
