@@ -9,12 +9,16 @@
      dune exec bench/main.exe table2 graph4
    Special arguments: "all" (default), "quick" (cap the subset
    experiment), "timings" (parallel stage timings + the Bechamel
-   section), "json" (emit the machine-readable BENCH_1.json perf
-   trajectory).
+   section), "json" (emit the machine-readable BENCH_2.json perf
+   trajectory: per-stage -j scaling plus cold/warm disk-cache wall
+   times), "compare A.json B.json" (diff two bench JSON files, exit
+   nonzero on regression), "perf-smoke" (tiny workload sanity run,
+   exit nonzero if the parallel path loses badly).
 
    "-j N" anywhere on the command line sets the domain count for the
    parallel sections (default: BALLARUS_JOBS or the machine's
-   recommended domain count; "-j 1" is the sequential path). *)
+   recommended domain count; "-j 1" is the sequential path).
+   "--no-cache" disables the persistent result cache. *)
 
 let null_formatter =
   Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
@@ -22,9 +26,11 @@ let null_formatter =
 (* ---- parallel stage timings ----
 
    The four domain-parallel stages of the pipeline, each timed wall
-   clock from cold caches, first at -j 1 and then at the requested
-   width.  [prepare] resets exactly the state the stage recomputes, so
-   each stage is measured in isolation against warm inputs. *)
+   clock from cold in-memory caches, first at -j 1 and then at the
+   requested width.  [prepare] resets exactly the state the stage
+   recomputes, so each stage is measured in isolation against warm
+   inputs.  The persistent store is bypassed while timing stages —
+   otherwise the second run would measure a disk read. *)
 
 let wall f =
   let t0 = Unix.gettimeofday () in
@@ -43,10 +49,7 @@ let stages : (string * (unit -> unit) * (unit -> unit)) list =
       fun () -> ignore (Experiments.Orderings.miss_matrix_cached ()) );
     ( "subset",
       (fun () -> ignore (Experiments.Orderings.miss_matrix_cached ())),
-      fun () ->
-        let m, rs = Experiments.Orderings.miss_matrix_cached () in
-        let k = (List.length rs + 1) / 2 in
-        ignore (Predict.Subset.run ~k m) );
+      fun () -> ignore (Experiments.Orderings.subset_result ()) );
     ( "traces",
       (fun () ->
         ignore (Experiments.Bench_run.load_all ());
@@ -56,16 +59,28 @@ let stages : (string * (unit -> unit) * (unit -> unit)) list =
 
 (* (name, seconds at -j 1, seconds at -j n) for every stage. *)
 let measure_stages jn =
-  List.map
-    (fun (name, prepare, run) ->
-      Par.Pool.set_jobs 1;
-      prepare ();
-      let t1 = wall run in
-      Par.Pool.set_jobs jn;
-      prepare ();
-      let tn = wall run in
-      (name, t1, tn))
-    stages
+  let was = Cache.Store.enabled () in
+  Cache.Store.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Cache.Store.set_enabled was)
+    (fun () ->
+      List.map
+        (fun (name, prepare, run) ->
+          Par.Pool.set_jobs 1;
+          prepare ();
+          let t1 = wall run in
+          (* jn = 1 is the very same configuration as the j1 run;
+             re-measuring it would only report timer noise *)
+          let tn =
+            if jn = 1 then t1
+            else begin
+              Par.Pool.set_jobs jn;
+              prepare ();
+              wall run
+            end
+          in
+          (name, t1, tn))
+        stages)
 
 let print_stage_timings jn =
   Printf.printf "==== Parallel stage timings (wall clock, -j 1 vs -j %d) ====\n%!"
@@ -77,6 +92,31 @@ let print_stage_timings jn =
         (if tn > 0. then t1 /. tn else Float.nan))
     (measure_stages jn);
   print_newline ()
+
+(* ---- cold/warm full-bench wall times ----
+
+   One pass over all four stages with in-memory caches dropped first.
+   "Cold" also clears the persistent store, so every simulation and
+   the subset walk actually run (and their results get written);
+   "warm" drops only the in-memory state, so the same pass is served
+   from disk. *)
+
+let full_bench () =
+  Experiments.Bench_run.reset ();
+  Experiments.Orderings.reset ();
+  Experiments.Traces.reset ();
+  ignore (Experiments.Bench_run.load_all ());
+  ignore (Experiments.Orderings.miss_matrix_cached ());
+  ignore (Experiments.Orderings.subset_result ());
+  Experiments.Traces.warm ()
+
+let measure_cold_warm jn =
+  Par.Pool.set_jobs jn;
+  Cache.Store.set_enabled true;
+  Cache.Store.clear ();
+  let cold = wall full_bench in
+  let warm = wall full_bench in
+  (cold, warm)
 
 (* ---- machine-readable perf trajectory ---- *)
 
@@ -93,11 +133,16 @@ let json_escape s =
 
 let emit_json jn =
   let results = measure_stages jn in
+  let cold, warm = measure_cold_warm jn in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"ballarus-bench/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"ballarus-bench/2\",\n";
   Buffer.add_string buf "  \"generated_by\": \"bench/main.exe json\",\n";
-  Buffer.add_string buf (Printf.sprintf "  \"domains\": %d,\n" jn);
+  Buffer.add_string buf
+    (match Par.Pool.requested_jobs () with
+    | Some n -> Printf.sprintf "  \"requested_jobs\": %d,\n" n
+    | None -> "  \"requested_jobs\": null,\n");
+  Buffer.add_string buf (Printf.sprintf "  \"effective_jobs\": %d,\n" jn);
   Buffer.add_string buf
     (Printf.sprintf "  \"recommended_domains\": %d,\n"
        (Domain.recommended_domain_count ()));
@@ -112,14 +157,306 @@ let emit_json jn =
            (if tn > 0. then t1 /. tn else Float.nan)
            (if i < List.length results - 1 then "," else "")))
     results;
-  Buffer.add_string buf "  ]\n";
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf (Printf.sprintf "  \"cold_wall_s\": %.6f,\n" cold);
+  Buffer.add_string buf (Printf.sprintf "  \"warm_wall_s\": %.6f,\n" warm);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"warm_speedup\": %.3f\n"
+       (if warm > 0. then cold /. warm else Float.nan));
   Buffer.add_string buf "}\n";
   let out = Buffer.contents buf in
-  let oc = open_out "BENCH_1.json" in
+  let oc = open_out "BENCH_2.json" in
   output_string oc out;
   close_out oc;
   print_string out;
-  Printf.printf "wrote BENCH_1.json\n%!"
+  Printf.printf "wrote BENCH_2.json\n%!"
+
+(* ---- minimal JSON reader for "compare" ----
+
+   Just enough for the flat BENCH_*.json files this harness writes:
+   objects, arrays, strings, numbers, null.  No external dependency. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then advance ()
+      else fail (Printf.sprintf "expected %c" c)
+    in
+    let string_lit () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | c -> Buffer.add_char buf c);
+          advance ();
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let literal word v =
+      if !pos + String.length word <= n
+         && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          fields []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items (v :: acc)
+            | Some ']' ->
+              advance ();
+              Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          items []
+        end
+      | Some '"' -> Str (string_lit ())
+      | Some 'n' -> literal "null" Null
+      | Some ('t' | 'f') ->
+        (* booleans never appear in our files; accept them anyway *)
+        if peek () = Some 't' then literal "true" (Num 1.)
+        else literal "false" (Num 0.)
+      | Some _ -> number ()
+      | None -> fail "unexpected end of input"
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+  let to_num = function Some (Num f) -> Some f | _ -> None
+  let num_field k o = to_num (member k o)
+end
+
+(* ---- compare: diff two BENCH_*.json files ---- *)
+
+type bench_file = {
+  path : string;
+  schema : string;
+  experiments : (string * float * float) list; (* name, j1, jn *)
+  cold : float option;
+  warm : float option;
+}
+
+let read_bench_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let j = Json.parse s in
+  let schema =
+    match Json.member "schema" j with Some (Json.Str s) -> s | _ -> "?"
+  in
+  let experiments =
+    match Json.member "experiments" j with
+    | Some (Json.Arr items) ->
+      List.filter_map
+        (fun e ->
+          match
+            ( Json.member "name" e,
+              Json.num_field "wall_s_j1" e,
+              Json.num_field "wall_s_jn" e )
+          with
+          | Some (Json.Str name), Some t1, Some tn -> Some (name, t1, tn)
+          | _ -> None)
+        items
+    | _ -> []
+  in
+  {
+    path;
+    schema;
+    experiments;
+    cold = Json.num_field "cold_wall_s" j;
+    warm = Json.num_field "warm_wall_s" j;
+  }
+
+(* A stage regresses when it gets >10% slower AND loses more than 50ms
+   of wall clock — the absolute floor keeps timer noise on
+   sub-100ms stages from failing CI. *)
+let regressed ~old_s ~new_s = new_s > old_s *. 1.10 && new_s -. old_s > 0.05
+
+let compare_benches old_path new_path =
+  let a = read_bench_file old_path and b = read_bench_file new_path in
+  Printf.printf "comparing %s (%s) -> %s (%s)\n\n" a.path a.schema b.path
+    b.schema;
+  let regressions = ref [] in
+  Printf.printf "%-14s %12s %12s %8s\n" "stage" "old j1 (s)" "new j1 (s)"
+    "ratio";
+  List.iter
+    (fun (name, t1_new, tn_new) ->
+      match List.find_opt (fun (n, _, _) -> n = name) a.experiments with
+      | None -> Printf.printf "%-14s %12s %12.3f %8s\n" name "-" t1_new "new"
+      | Some (_, t1_old, tn_old) ->
+        let ratio = if t1_old > 0. then t1_new /. t1_old else Float.nan in
+        Printf.printf "%-14s %12.3f %12.3f %7.2fx\n" name t1_old t1_new ratio;
+        if regressed ~old_s:t1_old ~new_s:t1_new then
+          regressions := Printf.sprintf "%s (j1)" name :: !regressions;
+        if regressed ~old_s:tn_old ~new_s:tn_new then
+          regressions := Printf.sprintf "%s (jn)" name :: !regressions)
+    b.experiments;
+  let total l = List.fold_left (fun acc (_, t1, _) -> acc +. t1) 0. l in
+  let told = total a.experiments and tnew = total b.experiments in
+  Printf.printf "%-14s %12.3f %12.3f %7.2fx\n" "TOTAL(j1)" told tnew
+    (if told > 0. then tnew /. told else Float.nan);
+  (match (a.cold, b.cold) with
+  | Some co, Some cn ->
+    Printf.printf "%-14s %12.3f %12.3f %7.2fx\n" "cold" co cn (cn /. co);
+    if regressed ~old_s:co ~new_s:cn then regressions := "cold" :: !regressions
+  | _ -> ());
+  (match (a.warm, b.warm) with
+  | Some wo, Some wn ->
+    Printf.printf "%-14s %12.3f %12.3f %7.2fx\n" "warm" wo wn (wn /. wo)
+  | _ -> ());
+  if regressed ~old_s:told ~new_s:tnew then
+    regressions := "TOTAL(j1)" :: !regressions;
+  match !regressions with
+  | [] ->
+    Printf.printf "\nno regressions\n";
+    0
+  | rs ->
+    Printf.printf "\nREGRESSIONS: %s\n" (String.concat ", " (List.rev rs));
+    1
+
+(* ---- perf-smoke: a seconds-scale sanity gate for CI ----
+
+   Profiles one small workload at -j 1 and at the effective width, and
+   runs a capped subset enumeration the same way.  Fails when the
+   parallel path is meaningfully slower than sequential — a speedup
+   below 0.9x that also loses more than 50ms (so single-digit-ms
+   timer noise on a 1-core host cannot flap the gate). *)
+
+let perf_smoke jn =
+  Cache.Store.set_enabled false;
+  let smoke_wl = "matrix300" in
+  let stages =
+    [
+      ( "profile:" ^ smoke_wl,
+        (fun () -> Experiments.Bench_run.reset ()),
+        fun () -> ignore (Experiments.Bench_run.load_named [ smoke_wl ]) );
+      ( "subset:20k",
+        (fun () -> ignore (Experiments.Orderings.miss_matrix_cached ())),
+        fun () -> ignore (Experiments.Orderings.subset_result ~max_trials:20_000 ())
+      );
+    ]
+  in
+  (* the miss matrix feeding the subset stage is warmed once, outside
+     the timed region *)
+  Par.Pool.set_jobs jn;
+  ignore (Experiments.Orderings.miss_matrix_cached ());
+  let failures = ref [] in
+  List.iter
+    (fun (name, prepare, run) ->
+      Par.Pool.set_jobs 1;
+      prepare ();
+      let t1 = wall run in
+      Par.Pool.set_jobs jn;
+      prepare ();
+      let tn = wall run in
+      let speedup = if tn > 0. then t1 /. tn else Float.nan in
+      Printf.printf "%-18s j1 %7.3f s   j%d %7.3f s   speedup %5.2fx\n%!" name
+        t1 jn tn speedup;
+      if speedup < 0.9 && tn -. t1 > 0.05 then failures := name :: !failures)
+    stages;
+  match !failures with
+  | [] ->
+    Printf.printf "perf-smoke OK (effective jobs %d)\n" jn;
+    0
+  | fs ->
+    Printf.printf "perf-smoke FAILED: parallel slower than sequential on %s\n"
+      (String.concat ", " (List.rev fs));
+    1
 
 (* One Bechamel test per experiment driver.  The first full run above
    warms every cache (compiled programs, profiles, miss matrices,
@@ -209,24 +546,28 @@ let run_timings () =
       | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
     (List.sort (fun (a, _) (b, _) -> String.compare a b) estimates)
 
-(* Strip "-j N" out of the argument list, configuring the pool. *)
-let rec parse_jobs acc = function
+(* Strip "-j N" and "--no-cache" out of the argument list, configuring
+   the pool and the persistent store. *)
+let rec parse_flags acc = function
   | [] -> List.rev acc
   | "-j" :: n :: rest | "--jobs" :: n :: rest -> (
     match int_of_string_opt n with
     | Some jobs when jobs >= 1 ->
       Par.Pool.set_jobs jobs;
-      parse_jobs acc rest
+      parse_flags acc rest
     | _ ->
       Printf.eprintf "bad -j argument %S\n" n;
       exit 1)
   | [ "-j" ] | [ "--jobs" ] ->
     Printf.eprintf "-j needs an argument\n";
     exit 1
-  | x :: rest -> parse_jobs (x :: acc) rest
+  | "--no-cache" :: rest ->
+    Cache.Store.set_enabled false;
+    parse_flags acc rest
+  | x :: rest -> parse_flags (x :: acc) rest
 
 let () =
-  let args = parse_jobs [] (List.tl (Array.to_list Sys.argv)) in
+  let args = parse_flags [] (List.tl (Array.to_list Sys.argv)) in
   let ppf = Format.std_formatter in
   match args with
   | [] | [ "all" ] ->
@@ -236,11 +577,14 @@ let () =
     Experiments.Driver.run_all ~quick:true ppf;
     run_timings ()
   | [ "timings" ] ->
-    print_stage_timings (Par.Pool.default_jobs ());
+    print_stage_timings (Par.Pool.effective_jobs ());
     (* warm the remaining caches for the Bechamel section *)
     Experiments.Driver.run_all ~quick:true null_formatter;
     run_timings ()
-  | [ "json" ] -> emit_json (Par.Pool.default_jobs ())
+  | [ "json" ] -> emit_json (Par.Pool.effective_jobs ())
+  | [ "compare"; old_path; new_path ] ->
+    exit (compare_benches old_path new_path)
+  | [ "perf-smoke" ] -> exit (perf_smoke (Par.Pool.effective_jobs ()))
   | ids ->
     List.iter
       (fun id ->

@@ -51,6 +51,16 @@ let apply_jobs = function
   | Some n -> failwith (Printf.sprintf "-j %d: need at least one domain" n)
   | None -> ()
 
+let no_cache_arg =
+  let doc =
+    "Bypass the persistent result cache ($(b,_cache/)); simulate and \
+     enumerate from scratch.  Equivalent to setting \
+     $(b,BALLARUS_NO_CACHE)."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let apply_no_cache no_cache = if no_cache then Cache.Store.set_enabled false
+
 let handle_errors f =
   try f () with
   | Minic.Frontend.Error msg | Failure msg ->
@@ -185,9 +195,10 @@ let profile_cmd =
 (* ---- trace ---- *)
 
 let trace_cmd =
-  let run src jobs =
+  let run src jobs no_cache =
     handle_errors (fun () ->
         apply_jobs jobs;
+        apply_no_cache no_cache;
         match Workloads.Registry.find src with
         | exception Not_found ->
           failwith "trace analysis requires a built-in workload name"
@@ -198,7 +209,7 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Instructions-per-break-in-control analysis")
-    Term.(const run $ src_arg $ jobs_arg)
+    Term.(const run $ src_arg $ jobs_arg $ no_cache_arg)
 
 (* ---- layout ---- *)
 
@@ -255,9 +266,10 @@ let experiment_cmd =
     Arg.(value & flag & info [ "quick" ]
            ~doc:"Cap the subset experiment at 20,000 trials.")
   in
-  let run id quick jobs =
+  let run id quick jobs no_cache =
     handle_errors (fun () ->
         apply_jobs jobs;
+        apply_no_cache no_cache;
         if String.equal id "all" then
           Experiments.Driver.run_all ~quick Format.std_formatter
         else
@@ -269,7 +281,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures")
-    Term.(const run $ id_arg $ quick_arg $ jobs_arg)
+    Term.(const run $ id_arg $ quick_arg $ jobs_arg $ no_cache_arg)
 
 (* ---- list ---- *)
 

@@ -11,4 +11,7 @@ dune runtest
 echo "== tier 2: fuzz smoke (@fuzz-smoke)"
 dune build @fuzz-smoke
 
+echo "== tier 2: perf smoke (@perf-smoke)"
+dune build @perf-smoke
+
 echo "CI OK"

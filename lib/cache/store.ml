@@ -1,0 +1,98 @@
+let format_tag = "ballarus-cache/1"
+
+let enabled_flag =
+  ref
+    (match Sys.getenv_opt "BALLARUS_NO_CACHE" with
+    | Some s when String.trim s <> "" -> false
+    | _ -> true)
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let dir_ref =
+  ref
+    (match Sys.getenv_opt "BALLARUS_CACHE_DIR" with
+    | Some d when String.trim d <> "" -> d
+    | _ -> "_cache")
+
+let dir () = !dir_ref
+let set_dir d = dir_ref := d
+
+let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
+
+(* Entry name: digest of the store format, the caller's version tag and
+   the marshalled key.  The version is part of the name, so bumping it
+   simply stops hitting the old entries. *)
+let entry_path ~version key =
+  let k = Digest.string (format_tag ^ "\000" ^ version ^ "\000" ^ key) in
+  Filename.concat (dir ()) (Digest.to_hex k ^ ".bin")
+
+(* An entry is [format_tag] NL [digest-of-payload-hex] NL [payload].
+   The digest makes truncation and bit corruption detectable, so a bad
+   entry falls through to recomputation instead of surfacing garbage. *)
+let read_entry path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match
+          let tag = input_line ic in
+          let hex = input_line ic in
+          let len = in_channel_length ic - pos_in ic in
+          let payload = really_input_string ic len in
+          (tag, hex, payload)
+        with
+        | exception _ -> None
+        | tag, hex, payload ->
+          if tag = format_tag && Digest.to_hex (Digest.string payload) = hex
+          then
+            match Marshal.from_string payload 0 with
+            | v -> Some v
+            | exception _ -> None
+          else None)
+
+let write_entry path payload =
+  try
+    ensure_dir (dir ());
+    let tmp =
+      Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+        (Domain.self () :> int)
+    in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc format_tag;
+        output_char oc '\n';
+        output_string oc (Digest.to_hex (Digest.string payload));
+        output_char oc '\n';
+        output_string oc payload);
+    (* atomic publish: concurrent writers of the same key race benignly,
+       last rename wins and every version is valid *)
+    Sys.rename tmp path
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+let memo ~version ~key compute =
+  if not !enabled_flag then compute ()
+  else begin
+    let path = entry_path ~version (Marshal.to_string key []) in
+    match read_entry path with
+    | Some v -> v
+    | None ->
+      let v = compute () in
+      write_entry path (Marshal.to_string v []);
+      v
+  end
+
+let clear () =
+  match Sys.readdir (dir ()) with
+  | exception Sys_error _ -> ()
+  | names ->
+    Array.iter
+      (fun name ->
+        let p = Filename.concat (dir ()) name in
+        try if not (Sys.is_directory p) then Sys.remove p
+        with Sys_error _ -> ())
+      names

@@ -107,24 +107,61 @@ let walk_range (m : float array array) ~nb ~no ~k lo len =
     let w = argmin () in
     win_counts.(w) <- win_counts.(w) + 1
   in
+  (* Row deltas between consecutive combinations, in the order the
+     sorted-merge below emits them.  Almost every step replaces a
+     single member, leaving one subtracted and one added row; that
+     pair gets a fused update-and-argmin pass.  Per element the fused
+     pass performs the exact operation sequence of the separate
+     full-array passes — [(cur -. s) +. a] when the subtraction is
+     emitted first, [(cur +. a) -. s] otherwise — so the trailing-bit
+     behaviour, and with it every argmin tie, is unchanged. *)
+  let op_sub = Array.make (2 * k) false in
+  let op_row = Array.make (2 * k) [||] in
+  let fused_record sub0 r0 r1 =
+    let v0 =
+      if sub0 then (cur.(0) -. r0.(0)) +. r1.(0)
+      else (cur.(0) +. r0.(0)) -. r1.(0)
+    in
+    cur.(0) <- v0;
+    let best = ref 0 and best_v = ref v0 in
+    if sub0 then
+      for o = 1 to no - 1 do
+        let v =
+          (Array.unsafe_get cur o -. Array.unsafe_get r0 o)
+          +. Array.unsafe_get r1 o
+        in
+        Array.unsafe_set cur o v;
+        if v < !best_v then begin
+          best_v := v;
+          best := o
+        end
+      done
+    else
+      for o = 1 to no - 1 do
+        let v =
+          (Array.unsafe_get cur o +. Array.unsafe_get r0 o)
+          -. Array.unsafe_get r1 o
+        in
+        Array.unsafe_set cur o v;
+        if v < !best_v then begin
+          best_v := v;
+          best := o
+        end
+      done;
+    win_counts.(!best) <- win_counts.(!best) + 1
+  in
   let prev = Array.copy comb in
   record ();
   for _ = 2 to len do
     Array.blit comb 0 prev 0 k;
     if not (next_combination comb nb) then
       invalid_arg "Subset.walk_range: range past the last combination";
-    (* Apply the row deltas between [prev] and [comb].  Both are
-       sorted; symmetric difference via merge. *)
-    let add b =
-      let row = m.(b) in
-      for o = 0 to no - 1 do
-        Array.unsafe_set cur o (Array.unsafe_get cur o +. Array.unsafe_get row o)
-      done
-    and sub b =
-      let row = m.(b) in
-      for o = 0 to no - 1 do
-        Array.unsafe_set cur o (Array.unsafe_get cur o -. Array.unsafe_get row o)
-      done
+    (* Symmetric difference between the sorted [prev] and [comb]. *)
+    let nops = ref 0 in
+    let emit is_sub b =
+      op_sub.(!nops) <- is_sub;
+      op_row.(!nops) <- m.(b);
+      incr nops
     in
     let i = ref 0 and j = ref 0 in
     while !i < k || !j < k do
@@ -133,15 +170,31 @@ let walk_range (m : float array array) ~nb ~no ~k lo len =
         incr j
       end
       else if !j >= k || (!i < k && prev.(!i) < comb.(!j)) then begin
-        sub prev.(!i);
+        emit true prev.(!i);
         incr i
       end
       else begin
-        add comb.(!j);
+        emit false comb.(!j);
         incr j
       end
     done;
-    record ()
+    if !nops = 2 then fused_record op_sub.(0) op_row.(0) op_row.(1)
+    else begin
+      for idx = 0 to !nops - 1 do
+        let row = op_row.(idx) in
+        if op_sub.(idx) then
+          for o = 0 to no - 1 do
+            Array.unsafe_set cur o
+              (Array.unsafe_get cur o -. Array.unsafe_get row o)
+          done
+        else
+          for o = 0 to no - 1 do
+            Array.unsafe_set cur o
+              (Array.unsafe_get cur o +. Array.unsafe_get row o)
+          done
+      done;
+      record ()
+    end
   done;
   win_counts
 
@@ -152,13 +205,20 @@ let run ?k ?(max_trials = max_int) (m : float array array) =
   let k = match k with Some k -> k | None -> (nb + 1) / 2 in
   if k <= 0 || k > nb then invalid_arg "Subset.run: bad subset size";
   let total = min (choose nb k) max_trials in
+  let pool = Par.Pool.get () in
+  (* The chunk size is part of the reproducibility contract (each chunk
+     re-sums its first combination, so resizing it moves float
+     accumulation boundaries); scheduling coarseness is not.  Batch
+     chunks so each domain sees ~4 tasks. *)
+  let nchunks = (total + chunk_trials - 1) / chunk_trials in
+  let batch = max 1 (nchunks / (Par.Pool.jobs pool * 4)) in
   let win_counts =
-    Par.Pool.reduce (Par.Pool.get ()) ~n:total ~chunk:chunk_trials
+    Par.Pool.reduce pool ~batch ~n:total ~chunk:chunk_trials
       ~map:(fun lo hi -> walk_range m ~nb ~no ~k lo (hi - lo))
       ~merge:(fun acc part ->
         Array.iteri (fun o c -> acc.(o) <- acc.(o) + c) part;
         acc)
-      ~init:(Array.make no 0)
+      ~init:(Array.make no 0) ()
   in
   let overall =
     Array.init no (fun o ->

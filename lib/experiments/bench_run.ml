@@ -1,10 +1,21 @@
 type t = {
   wl : Workloads.Workload.t;
   prog : Mips.Program.t;
+  decoded : Sim.Decode.t;
   analyses : Cfg.Analysis.t array;
   profile : Sim.Profile.t;
   db : Predict.Database.t;
 }
+
+(* Version tag of persistently cached edge profiles.  The key is the
+   (program, dataset) pair by content, so recompiling an unchanged
+   workload still hits; bump the tag when the simulator's observable
+   behaviour or [Sim.Profile.t] changes. *)
+let profile_version = "profile/1"
+
+let profile_for ~decoded prog ds =
+  Cache.Store.memo ~version:profile_version ~key:(prog, ds) (fun () ->
+      Sim.Profile.run ~decoded prog ds)
 
 (* Both memo tables are shared across domains.  The mutexes guard the
    tables only; the pipeline itself (compile, analyse, profile) runs
@@ -20,15 +31,16 @@ let load wl =
   | Some t -> t
   | None ->
     let prog = Workloads.Workload.compile wl in
+    let decoded = Sim.Decode.of_program prog in
     let analyses = Cfg.Analysis.of_program prog in
     let profile =
-      Sim.Profile.run prog (Workloads.Workload.primary_dataset wl)
+      profile_for ~decoded prog (Workloads.Workload.primary_dataset wl)
     in
     let db =
       Predict.Database.make prog analyses ~taken:profile.taken
         ~fall:profile.fall
     in
-    let t = { wl; prog; analyses; profile; db } in
+    let t = { wl; prog; decoded; analyses; profile; db } in
     Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache name t);
     t
 
@@ -52,7 +64,7 @@ let db_for t ds =
   with
   | Some db -> db
   | None ->
-    let profile = Sim.Profile.run t.prog ds in
+    let profile = profile_for ~decoded:t.decoded t.prog ds in
     let db =
       Predict.Database.make t.prog t.analyses ~taken:profile.taken
         ~fall:profile.fall

@@ -1,13 +1,18 @@
 (** Compiled-and-profiled benchmarks, memoised.
 
     A [t] joins everything the experiment drivers need for one
-    workload: the compiled program, its per-procedure CFG analyses,
-    the edge profile of the primary dataset, and the resulting branch
-    database. *)
+    workload: the compiled program, its pre-decoded form, its
+    per-procedure CFG analyses, the edge profile of the primary
+    dataset, and the resulting branch database.
+
+    Profiles are additionally memoised on disk through {!Cache.Store}
+    (keyed by program and dataset content), so a warm process skips
+    simulation entirely. *)
 
 type t = {
   wl : Workloads.Workload.t;
   prog : Mips.Program.t;
+  decoded : Sim.Decode.t;  (** [prog] pre-decoded, for re-simulation *)
   analyses : Cfg.Analysis.t array;
   profile : Sim.Profile.t;
   db : Predict.Database.t;

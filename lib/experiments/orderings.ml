@@ -50,11 +50,20 @@ let graph1 ppf =
   Format.fprintf ppf "best order: %s (%s%%)@." (order_string best_idx)
     (Texttab.pct1 best_v)
 
-let graph2_3_table4 ?max_trials ppf =
+(* Bump when [Predict.Subset.run] or its result type changes. *)
+let subset_version = "subset/1"
+
+let subset_result ?max_trials () =
   let m, rs = miss_matrix_cached () in
+  let k = (List.length rs + 1) / 2 in
+  Cache.Store.memo ~version:subset_version ~key:(m, k, max_trials) (fun () ->
+      Predict.Subset.run ~k ?max_trials m)
+
+let graph2_3_table4 ?max_trials ppf =
+  let _, rs = miss_matrix_cached () in
   let nb = List.length rs in
   let k = (nb + 1) / 2 in
-  let result = Predict.Subset.run ~k ?max_trials m in
+  let result = subset_result ?max_trials () in
   Format.fprintf ppf
     "Subset experiment: best order per %d-subset of %d benchmarks,@."
     k nb;

@@ -14,6 +14,10 @@ let trace_cache : (string, Tracing.Ipbc.distribution list) Hashtbl.t =
 
 let trace_cache_mutex = Mutex.create ()
 
+(* Bump when the predictors, the break accounting, or
+   [Tracing.Ipbc.distribution] change. *)
+let traces_version = "traces/1"
+
 let distributions name =
   match
     Mutex.protect trace_cache_mutex (fun () ->
@@ -22,12 +26,16 @@ let distributions name =
   | Some d -> d
   | None ->
     let r = Bench_run.load (Workloads.Registry.find name) in
-    let results =
-      Sim.Trace_run.run r.prog
-        (Workloads.Workload.primary_dataset r.wl)
-        (predictors_for r)
+    let ds = Workloads.Workload.primary_dataset r.wl in
+    let predictors = predictors_for r in
+    let d =
+      (* the key carries the prediction bits themselves, so a predictor
+         change re-simulates without a version bump *)
+      Cache.Store.memo ~version:traces_version ~key:(r.prog, ds, predictors)
+        (fun () ->
+          List.map Tracing.Ipbc.of_result
+            (Sim.Trace_run.run ~decoded:r.decoded r.prog ds predictors))
     in
-    let d = List.map Tracing.Ipbc.of_result results in
     Mutex.protect trace_cache_mutex (fun () ->
         Hashtbl.replace trace_cache name d);
     d

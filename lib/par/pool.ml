@@ -115,42 +115,65 @@ let run t n body =
     end
   end
 
-let parallel_for t ?chunk n body =
+(* True when [n] work items are too few to bother the worker domains:
+   parallel execution needs at least two domains' worth of
+   [min_per_domain] items to amortise the fork-join handoff. *)
+let below_threshold min_per_domain n =
+  match min_per_domain with Some m -> n < 2 * max 1 m | None -> false
+
+let parallel_for t ?chunk ?min_per_domain n body =
   if n > 0 then begin
-    let chunk =
-      match chunk with
-      | Some c -> max 1 c
-      | None -> max 1 (n / (t.size * 4)) (* ~4 tasks per domain *)
-    in
-    let nchunks = (n + chunk - 1) / chunk in
-    run t nchunks (fun c ->
-        let lo = c * chunk and hi = min n ((c + 1) * chunk) in
-        for i = lo to hi - 1 do
-          body i
-        done)
+    if below_threshold min_per_domain n then
+      for i = 0 to n - 1 do
+        body i
+      done
+    else begin
+      let chunk =
+        match chunk with
+        | Some c -> max 1 c
+        | None -> max 1 (n / (t.size * 4)) (* ~4 tasks per domain *)
+      in
+      let nchunks = (n + chunk - 1) / chunk in
+      run t nchunks (fun c ->
+          let lo = c * chunk and hi = min n ((c + 1) * chunk) in
+          for i = lo to hi - 1 do
+            body i
+          done)
+    end
   end
 
-let parallel_map t f a =
+let parallel_map t ?min_per_domain f a =
   let n = Array.length a in
   if n = 0 then [||]
+  else if below_threshold min_per_domain n then Array.map f a
   else begin
     let out = Array.make n None in
     run t n (fun i -> out.(i) <- Some (f a.(i)));
     Array.map Option.get out
   end
 
-let parallel_map_list t f l =
-  Array.to_list (parallel_map t f (Array.of_list l))
+let parallel_map_list t ?min_per_domain f l =
+  Array.to_list (parallel_map t ?min_per_domain f (Array.of_list l))
 
-let reduce t ~n ~chunk ~map ~merge ~init =
+let reduce t ?(batch = 1) ~n ~chunk ~map ~merge ~init () =
   if n <= 0 then init
   else begin
     let chunk = max 1 chunk in
+    let batch = max 1 batch in
     let nchunks = (n + chunk - 1) / chunk in
     let parts = Array.make nchunks None in
-    run t nchunks (fun c ->
-        let lo = c * chunk and hi = min n ((c + 1) * chunk) in
-        parts.(c) <- Some (map lo hi));
+    (* [batch] adjacent chunks share one scheduled task.  Each chunk is
+       still mapped over its own [lo, hi) and merged in ascending chunk
+       order, so batching changes scheduling granularity only — never
+       the result. *)
+    let ntasks = (nchunks + batch - 1) / batch in
+    run t ntasks (fun task ->
+        let cfirst = task * batch in
+        let clast = min nchunks ((task + 1) * batch) - 1 in
+        for c = cfirst to clast do
+          let lo = c * chunk and hi = min n ((c + 1) * chunk) in
+          parts.(c) <- Some (map lo hi)
+        done);
     Array.fold_left (fun acc p -> merge acc (Option.get p)) init parts
   end
 
@@ -164,23 +187,28 @@ let env_jobs () =
     | Some n when n >= 1 -> Some n
     | _ -> None)
 
-let requested_jobs : int option ref = ref None
+let jobs_override : int option ref = ref None
 let default_pool : t option ref = ref None
 let default_mutex = Mutex.create ()
 let exit_hook_installed = ref false
 
+let requested_jobs () =
+  match !jobs_override with Some _ as r -> r | None -> env_jobs ()
+
+(* Without an explicit override the width is clamped to the hardware's
+   recommended domain count: oversubscribing domains on a small host
+   makes every parallel stage slower, not faster. *)
 let default_jobs () =
-  match !requested_jobs with
+  match requested_jobs () with
   | Some n -> n
-  | None -> (
-    match env_jobs () with
-    | Some n -> n
-    | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let effective_jobs = default_jobs
 
 let set_jobs n =
   let n = max 1 n in
   Mutex.lock default_mutex;
-  requested_jobs := Some n;
+  jobs_override := Some n;
   let stale =
     match !default_pool with
     | Some p when jobs p <> n ->

@@ -33,21 +33,31 @@ val run : t -> int -> (int -> unit) -> unit
     If any task raises, one such exception is re-raised in the caller
     (after all tasks have completed or been started). *)
 
-val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
+val parallel_for : t -> ?chunk:int -> ?min_per_domain:int -> int ->
+  (int -> unit) -> unit
 (** [parallel_for t ?chunk n body] runs [body i] for [0 <= i < n],
     grouping [chunk] consecutive indices into one task (default: a
     chunk size aiming at ~4 tasks per domain).  Within a chunk, indices
-    run in ascending order on one domain. *)
+    run in ascending order on one domain.
 
-val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+    [min_per_domain] is a sequential-fallback threshold: when
+    [n < 2 * min_per_domain] — too little work for even two domains —
+    the whole range runs as an ordinary loop on the calling domain,
+    with no pool handoff.  Results are identical either way. *)
+
+val parallel_map : t -> ?min_per_domain:int -> ('a -> 'b) -> 'a array ->
+  'b array
 (** Like [Array.map], with elements processed across the pool.  The
-    result preserves input order. *)
+    result preserves input order.  [min_per_domain] as in
+    {!parallel_for}. *)
 
-val parallel_map_list : t -> ('a -> 'b) -> 'a list -> 'b list
-(** Like [List.map], with elements processed across the pool. *)
+val parallel_map_list : t -> ?min_per_domain:int -> ('a -> 'b) ->
+  'a list -> 'b list
+(** Like [List.map], with elements processed across the pool.
+    [min_per_domain] as in {!parallel_for}. *)
 
-val reduce : t -> n:int -> chunk:int -> map:(int -> int -> 'a) ->
-  merge:('a -> 'a -> 'a) -> init:'a -> 'a
+val reduce : t -> ?batch:int -> n:int -> chunk:int ->
+  map:(int -> int -> 'a) -> merge:('a -> 'a -> 'a) -> init:'a -> unit -> 'a
 (** Chunked reduce: the index range [0, n) is cut into fixed chunks of
     size [chunk]; [map lo hi] folds one chunk [lo, hi) to a partial
     value, and partials are combined as
@@ -55,17 +65,34 @@ val reduce : t -> n:int -> chunk:int -> map:(int -> int -> 'a) ->
     Because the chunk decomposition depends only on [n] and [chunk]
     (never on the pool width), the result is identical for any number
     of domains even when [merge] is not associative-commutative in
-    floating point. *)
+    floating point.
+
+    [batch] groups that many adjacent chunks into one scheduled task
+    (default 1).  Batching coarsens scheduling without touching the
+    chunk decomposition, so it never changes the result — use it when
+    [chunk] must stay small for reproducibility but per-chunk work is
+    cheap relative to the handoff. *)
 
 (** {1 The process-wide default pool}
 
     Hot paths in the rest of the repository share one global pool.
     Its width is, in order of precedence: the last [set_jobs] call
-    (the [-j] flag), the [BALLARUS_JOBS] environment variable, or
-    [Domain.recommended_domain_count ()]. *)
+    (the [-j] flag), the [BALLARUS_JOBS] environment variable, or —
+    absent any explicit request — a clamp to
+    [Domain.recommended_domain_count ()], because oversubscribing
+    domains makes every stage slower. *)
+
+val requested_jobs : unit -> int option
+(** The explicit width override currently in force ([set_jobs] or
+    [BALLARUS_JOBS]), or [None] when the width defaults to the
+    hardware clamp. *)
+
+val effective_jobs : unit -> int
+(** The width the default pool would have right now: the explicit
+    request if any, else [Domain.recommended_domain_count ()]. *)
 
 val default_jobs : unit -> int
-(** The width the default pool would have right now. *)
+(** Alias of {!effective_jobs}, kept for existing callers. *)
 
 val set_jobs : int -> unit
 (** Override the default pool width ([-j N]).  If the default pool

@@ -1,0 +1,59 @@
+(** Pre-decoded programs (the classic fast-interpreter technique: cf.
+    Ertl & Gregg; QPT's cheap rewritten executables played the same
+    role for the paper).
+
+    {!of_program} compiles each procedure body once into a flat
+    representation the interpreter can dispatch on with a single
+    jump-table match per step:
+
+    - one dense opcode per instruction, with ALU reg/reg vs reg/imm
+      forms, float-compare conditions, zero-test conditions, and
+      branch-on-flag senses split into distinct opcodes (no nested
+      matches at run time);
+    - register names pre-converted to plain int indices;
+    - [Jal] targets pre-resolved to procedure indices (no string
+      lookup on calls);
+    - branch/jump targets as absolute instruction slots;
+    - jump tables and float immediates in per-procedure side tables.
+
+    Decoding is cheap (linear in the static code size) but hot loops
+    decode each procedure exactly once: callers that run the same
+    program repeatedly should decode up front and pass the result to
+    {!Machine.run_decoded}, {!Profile.run}, or {!Trace_run.run}. *)
+
+type op =
+  | Add_rr | Sub_rr | Mul_rr | Div_rr | Rem_rr
+  | And_rr | Or_rr | Xor_rr | Sll_rr | Sra_rr
+  | Slt_rr | Sle_rr | Seq_rr | Sne_rr
+  | Add_ri | Sub_ri | Mul_ri | Div_ri | Rem_ri
+  | And_ri | Or_ri | Xor_ri | Sll_ri | Sra_ri
+  | Slt_ri | Sle_ri | Seq_ri | Sne_ri
+  | Li | Move | Lw | Sw
+  | Fadd | Fsub | Fmul | Fdiv
+  | Fneg | Fabs | Fmove | Fli
+  | Ld | Sd | Itof | Ftoi
+  | Fcmp_eq | Fcmp_lt | Fcmp_le
+  | Beq | Bne | Bltz | Blez | Bgtz | Bgez
+  | Bfp_t | Bfp_f
+  | Jump | Jtab | Call | Callr | Ret
+  | ReadI | ReadF | PrintI | PrintF
+  | Halt | Nop
+
+type dproc = {
+  ops : op array;           (** dense opcode per instruction slot *)
+  xs : int array;           (** first operand field (see {!op}) *)
+  ys : int array;           (** second operand field *)
+  zs : int array;           (** third operand field / branch target *)
+  jtabs : int array array;  (** jump tables, indexed by [ys] *)
+  fimms : float array;      (** float immediates, indexed by [ys] *)
+}
+
+type t = {
+  prog : Mips.Program.t;    (** the program this was decoded from *)
+  procs : dproc array;      (** decoded bodies, in [prog.procs] order *)
+}
+
+val of_program : Mips.Program.t -> t
+(** Decode every procedure.  Raises {!Mips.Program.Unknown_procedure}
+    if a [Jal] names a procedure the program does not define (programs
+    built through {!Mips.Program.make} are already validated). *)

@@ -12,6 +12,8 @@ type t = {
   mutable icursor : int;
   mutable fcursor : int;
   input : Dataset.t;
+  mutable dirty_lo : int;
+  mutable dirty_hi : int;
 }
 
 exception Fault of string
@@ -34,15 +36,53 @@ let fault m fmt =
 
 let max_call_depth = 65536
 
-let create prog input =
+(* Domain-local scratch memory.  The two memory planes are millions of
+   words of zero-initialised storage, so allocating them fresh costs
+   more than a short program spends executing.  Each domain parks one
+   pair after a run; reacquisition re-zeroes only the address ranges
+   the previous run dirtied, which the interpreter tracks as two
+   intervals — stores land either low (globals/heap, grows up) or high
+   (stack, grows down), so a watermark per half covers everything.
+   The slot is emptied while in use, so a nested run on the same
+   domain simply falls back to fresh allocation. *)
+let scratch_slot : (int * int array * float array) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let acquire_mem mem_words =
+  let slot = Domain.DLS.get scratch_slot in
+  match !slot with
+  | Some (w, mi, mf) when w = mem_words ->
+    slot := None;
+    (mi, mf)
+  | _ -> (Array.make mem_words 0, Array.make mem_words 0.)
+
+let release_mem m =
+  let w = Array.length m.mem_i in
+  let zero lo hi =
+    if lo <= hi then begin
+      Array.fill m.mem_i lo (hi - lo + 1) 0;
+      Array.fill m.mem_f lo (hi - lo + 1) 0.
+    end
+  in
+  zero 0 m.dirty_lo;
+  zero m.dirty_hi (w - 1);
+  let slot = Domain.DLS.get scratch_slot in
+  slot := Some (w, m.mem_i, m.mem_f)
+
+let create ?(scratch = false) prog input =
+  let mem_words = prog.Mips.Program.mem_words in
+  let mem_i, mem_f =
+    if scratch then acquire_mem mem_words
+    else (Array.make mem_words 0, Array.make mem_words 0.)
+  in
   let m =
     {
       prog;
       iregs = Array.make 32 0;
       fregs = Array.make 32 0.;
       fcc = false;
-      mem_i = Array.make prog.Mips.Program.mem_words 0;
-      mem_f = Array.make prog.Mips.Program.mem_words 0.;
+      mem_i;
+      mem_f;
       proc = prog.entry;
       pc = 0;
       instrs = 0;
@@ -50,10 +90,27 @@ let create prog input =
       icursor = 0;
       fcursor = 0;
       input;
+      dirty_lo = -1;
+      dirty_hi = mem_words;
     }
   in
-  List.iter (fun (a, v) -> m.mem_i.(a) <- v) prog.idata;
-  List.iter (fun (a, v) -> m.mem_f.(a) <- v) prog.fdata;
+  let mid = mem_words lsr 1 in
+  let touch a =
+    if a < mid then begin
+      if a > m.dirty_lo then m.dirty_lo <- a
+    end
+    else if a < m.dirty_hi then m.dirty_hi <- a
+  in
+  List.iter
+    (fun (a, v) ->
+      m.mem_i.(a) <- v;
+      touch a)
+    prog.idata;
+  List.iter
+    (fun (a, v) ->
+      m.mem_f.(a) <- v;
+      touch a)
+    prog.fdata;
   m.iregs.(Mips.Reg.to_int Mips.Reg.gp) <- prog.gp_base;
   m.iregs.(Mips.Reg.to_int Mips.Reg.sp) <- prog.stack_base;
   m
@@ -72,7 +129,409 @@ let resolve_callees prog =
 let nobranch _ ~taken:_ = ()
 let noindirect _ = ()
 
-let run ?(max_instrs = 2_000_000_000) ?(on_branch = nobranch)
+(* ---- the pre-decoded interpreter ----
+
+   The hot loop is a tail-recursive [step pc instrs] so the program
+   counter and instruction count live in registers; [m.pc]/[m.instrs]
+   are synchronised only where an observer can look (branch/indirect
+   callbacks and faults), with the same values the legacy interpreter
+   exposes at those points.  Dispatch is a single match over
+   [Decode.op] — no nested operand or condition matches survive to run
+   time. *)
+
+let run_decoded ?(max_instrs = 2_000_000_000) ?(on_branch = nobranch)
+    ?(on_indirect = noindirect) (d : Decode.t) input =
+  let prog = d.Decode.prog in
+  let m = create ~scratch:true prog input in
+  let regs = m.iregs and fregs = m.fregs in
+  let mem_i = m.mem_i and mem_f = m.mem_f in
+  let mem_words = prog.Mips.Program.mem_words in
+  let mem_mid = mem_words lsr 1 in
+  let ints = input.Dataset.ints and floats = input.Dataset.floats in
+  let nints = Array.length ints and nfloats = Array.length floats in
+  let ret_proc = Array.make max_call_depth 0 in
+  let ret_pc = Array.make max_call_depth 0 in
+  let depth = ref 0 in
+  let dprocs = d.Decode.procs in
+  let nprocs = Array.length dprocs in
+  let cur = ref (Array.unsafe_get dprocs m.proc) in
+  (* expose the observable position, exactly as the legacy loop does *)
+  let sync pc instrs =
+    m.pc <- pc;
+    m.instrs <- instrs
+  in
+  let finish instrs =
+    m.instrs <- instrs;
+    {
+      instr_count = instrs;
+      checksum = m.checksum;
+      ints_read = min m.icursor nints;
+      floats_read = min m.fcursor nfloats;
+    }
+  in
+  let rec step pc instrs =
+    let c = !cur in
+    if pc >= Array.length c.Decode.ops then begin
+      sync pc instrs;
+      fault m "fell off the end of procedure"
+    end;
+    if instrs >= max_instrs then begin
+      sync pc instrs;
+      fault m "instruction limit exceeded"
+    end;
+    let instrs = instrs + 1 in
+    let x = Array.unsafe_get c.Decode.xs pc in
+    let y = Array.unsafe_get c.Decode.ys pc in
+    let z = Array.unsafe_get c.Decode.zs pc in
+    match Array.unsafe_get c.Decode.ops pc with
+    | Decode.Add_rr ->
+      if x <> 0 then
+        Array.unsafe_set regs x
+          (Array.unsafe_get regs y + Array.unsafe_get regs z);
+      step (pc + 1) instrs
+    | Decode.Sub_rr ->
+      if x <> 0 then
+        Array.unsafe_set regs x
+          (Array.unsafe_get regs y - Array.unsafe_get regs z);
+      step (pc + 1) instrs
+    | Decode.Mul_rr ->
+      if x <> 0 then
+        Array.unsafe_set regs x
+          (Array.unsafe_get regs y * Array.unsafe_get regs z);
+      step (pc + 1) instrs
+    | Decode.Div_rr ->
+      let b = Array.unsafe_get regs z in
+      if b = 0 then begin
+        sync pc instrs;
+        fault m "division by zero"
+      end;
+      if x <> 0 then Array.unsafe_set regs x (Array.unsafe_get regs y / b);
+      step (pc + 1) instrs
+    | Decode.Rem_rr ->
+      let b = Array.unsafe_get regs z in
+      if b = 0 then begin
+        sync pc instrs;
+        fault m "remainder by zero"
+      end;
+      if x <> 0 then Array.unsafe_set regs x (Array.unsafe_get regs y mod b);
+      step (pc + 1) instrs
+    | Decode.And_rr ->
+      if x <> 0 then
+        Array.unsafe_set regs x
+          (Array.unsafe_get regs y land Array.unsafe_get regs z);
+      step (pc + 1) instrs
+    | Decode.Or_rr ->
+      if x <> 0 then
+        Array.unsafe_set regs x
+          (Array.unsafe_get regs y lor Array.unsafe_get regs z);
+      step (pc + 1) instrs
+    | Decode.Xor_rr ->
+      if x <> 0 then
+        Array.unsafe_set regs x
+          (Array.unsafe_get regs y lxor Array.unsafe_get regs z);
+      step (pc + 1) instrs
+    | Decode.Sll_rr ->
+      if x <> 0 then
+        Array.unsafe_set regs x
+          (Array.unsafe_get regs y lsl (Array.unsafe_get regs z land 63));
+      step (pc + 1) instrs
+    | Decode.Sra_rr ->
+      if x <> 0 then
+        Array.unsafe_set regs x
+          (Array.unsafe_get regs y asr (Array.unsafe_get regs z land 63));
+      step (pc + 1) instrs
+    | Decode.Slt_rr ->
+      if x <> 0 then
+        Array.unsafe_set regs x
+          (if Array.unsafe_get regs y < Array.unsafe_get regs z then 1 else 0);
+      step (pc + 1) instrs
+    | Decode.Sle_rr ->
+      if x <> 0 then
+        Array.unsafe_set regs x
+          (if Array.unsafe_get regs y <= Array.unsafe_get regs z then 1 else 0);
+      step (pc + 1) instrs
+    | Decode.Seq_rr ->
+      if x <> 0 then
+        Array.unsafe_set regs x
+          (if Array.unsafe_get regs y = Array.unsafe_get regs z then 1 else 0);
+      step (pc + 1) instrs
+    | Decode.Sne_rr ->
+      if x <> 0 then
+        Array.unsafe_set regs x
+          (if Array.unsafe_get regs y <> Array.unsafe_get regs z then 1 else 0);
+      step (pc + 1) instrs
+    | Decode.Add_ri ->
+      if x <> 0 then Array.unsafe_set regs x (Array.unsafe_get regs y + z);
+      step (pc + 1) instrs
+    | Decode.Sub_ri ->
+      if x <> 0 then Array.unsafe_set regs x (Array.unsafe_get regs y - z);
+      step (pc + 1) instrs
+    | Decode.Mul_ri ->
+      if x <> 0 then Array.unsafe_set regs x (Array.unsafe_get regs y * z);
+      step (pc + 1) instrs
+    | Decode.Div_ri ->
+      if z = 0 then begin
+        sync pc instrs;
+        fault m "division by zero"
+      end;
+      if x <> 0 then Array.unsafe_set regs x (Array.unsafe_get regs y / z);
+      step (pc + 1) instrs
+    | Decode.Rem_ri ->
+      if z = 0 then begin
+        sync pc instrs;
+        fault m "remainder by zero"
+      end;
+      if x <> 0 then Array.unsafe_set regs x (Array.unsafe_get regs y mod z);
+      step (pc + 1) instrs
+    | Decode.And_ri ->
+      if x <> 0 then Array.unsafe_set regs x (Array.unsafe_get regs y land z);
+      step (pc + 1) instrs
+    | Decode.Or_ri ->
+      if x <> 0 then Array.unsafe_set regs x (Array.unsafe_get regs y lor z);
+      step (pc + 1) instrs
+    | Decode.Xor_ri ->
+      if x <> 0 then Array.unsafe_set regs x (Array.unsafe_get regs y lxor z);
+      step (pc + 1) instrs
+    | Decode.Sll_ri ->
+      if x <> 0 then
+        Array.unsafe_set regs x (Array.unsafe_get regs y lsl (z land 63));
+      step (pc + 1) instrs
+    | Decode.Sra_ri ->
+      if x <> 0 then
+        Array.unsafe_set regs x (Array.unsafe_get regs y asr (z land 63));
+      step (pc + 1) instrs
+    | Decode.Slt_ri ->
+      if x <> 0 then
+        Array.unsafe_set regs x (if Array.unsafe_get regs y < z then 1 else 0);
+      step (pc + 1) instrs
+    | Decode.Sle_ri ->
+      if x <> 0 then
+        Array.unsafe_set regs x (if Array.unsafe_get regs y <= z then 1 else 0);
+      step (pc + 1) instrs
+    | Decode.Seq_ri ->
+      if x <> 0 then
+        Array.unsafe_set regs x (if Array.unsafe_get regs y = z then 1 else 0);
+      step (pc + 1) instrs
+    | Decode.Sne_ri ->
+      if x <> 0 then
+        Array.unsafe_set regs x (if Array.unsafe_get regs y <> z then 1 else 0);
+      step (pc + 1) instrs
+    | Decode.Li ->
+      if x <> 0 then Array.unsafe_set regs x y;
+      step (pc + 1) instrs
+    | Decode.Move ->
+      if x <> 0 then Array.unsafe_set regs x (Array.unsafe_get regs y);
+      step (pc + 1) instrs
+    | Decode.Lw ->
+      let addr = y + Array.unsafe_get regs z in
+      if addr < 0 || addr >= mem_words then begin
+        sync pc instrs;
+        fault m "load from bad address %d" addr
+      end;
+      if x <> 0 then Array.unsafe_set regs x (Array.unsafe_get mem_i addr);
+      step (pc + 1) instrs
+    | Decode.Sw ->
+      let addr = y + Array.unsafe_get regs z in
+      if addr < 0 || addr >= mem_words then begin
+        sync pc instrs;
+        fault m "store to bad address %d" addr
+      end;
+      Array.unsafe_set mem_i addr (Array.unsafe_get regs x);
+      if addr < mem_mid then begin
+        if addr > m.dirty_lo then m.dirty_lo <- addr
+      end
+      else if addr < m.dirty_hi then m.dirty_hi <- addr;
+      step (pc + 1) instrs
+    | Decode.Fadd ->
+      Array.unsafe_set fregs x
+        (Array.unsafe_get fregs y +. Array.unsafe_get fregs z);
+      step (pc + 1) instrs
+    | Decode.Fsub ->
+      Array.unsafe_set fregs x
+        (Array.unsafe_get fregs y -. Array.unsafe_get fregs z);
+      step (pc + 1) instrs
+    | Decode.Fmul ->
+      Array.unsafe_set fregs x
+        (Array.unsafe_get fregs y *. Array.unsafe_get fregs z);
+      step (pc + 1) instrs
+    | Decode.Fdiv ->
+      Array.unsafe_set fregs x
+        (Array.unsafe_get fregs y /. Array.unsafe_get fregs z);
+      step (pc + 1) instrs
+    | Decode.Fneg ->
+      Array.unsafe_set fregs x (-.Array.unsafe_get fregs y);
+      step (pc + 1) instrs
+    | Decode.Fabs ->
+      Array.unsafe_set fregs x (Float.abs (Array.unsafe_get fregs y));
+      step (pc + 1) instrs
+    | Decode.Fli ->
+      Array.unsafe_set fregs x (Array.unsafe_get c.Decode.fimms y);
+      step (pc + 1) instrs
+    | Decode.Fmove ->
+      Array.unsafe_set fregs x (Array.unsafe_get fregs y);
+      step (pc + 1) instrs
+    | Decode.Ld ->
+      let addr = y + Array.unsafe_get regs z in
+      if addr < 0 || addr >= mem_words then begin
+        sync pc instrs;
+        fault m "f-load from bad address %d" addr
+      end;
+      Array.unsafe_set fregs x (Array.unsafe_get mem_f addr);
+      step (pc + 1) instrs
+    | Decode.Sd ->
+      let addr = y + Array.unsafe_get regs z in
+      if addr < 0 || addr >= mem_words then begin
+        sync pc instrs;
+        fault m "f-store to bad address %d" addr
+      end;
+      Array.unsafe_set mem_f addr (Array.unsafe_get fregs x);
+      if addr < mem_mid then begin
+        if addr > m.dirty_lo then m.dirty_lo <- addr
+      end
+      else if addr < m.dirty_hi then m.dirty_hi <- addr;
+      step (pc + 1) instrs
+    | Decode.Itof ->
+      Array.unsafe_set fregs x (float_of_int (Array.unsafe_get regs y));
+      step (pc + 1) instrs
+    | Decode.Ftoi ->
+      let v = Array.unsafe_get fregs y in
+      if Float.is_nan v || Float.abs v >= 1e18 then begin
+        sync pc instrs;
+        fault m "float-to-int out of range"
+      end;
+      if x <> 0 then Array.unsafe_set regs x (int_of_float v);
+      step (pc + 1) instrs
+    | Decode.Fcmp_eq ->
+      m.fcc <- Array.unsafe_get fregs x = Array.unsafe_get fregs y;
+      step (pc + 1) instrs
+    | Decode.Fcmp_lt ->
+      m.fcc <- Array.unsafe_get fregs x < Array.unsafe_get fregs y;
+      step (pc + 1) instrs
+    | Decode.Fcmp_le ->
+      m.fcc <- Array.unsafe_get fregs x <= Array.unsafe_get fregs y;
+      step (pc + 1) instrs
+    | Decode.Beq ->
+      let taken = Array.unsafe_get regs x = Array.unsafe_get regs y in
+      sync pc instrs;
+      on_branch m ~taken;
+      step (if taken then z else pc + 1) instrs
+    | Decode.Bne ->
+      let taken = Array.unsafe_get regs x <> Array.unsafe_get regs y in
+      sync pc instrs;
+      on_branch m ~taken;
+      step (if taken then z else pc + 1) instrs
+    | Decode.Bltz ->
+      let taken = Array.unsafe_get regs x < 0 in
+      sync pc instrs;
+      on_branch m ~taken;
+      step (if taken then z else pc + 1) instrs
+    | Decode.Blez ->
+      let taken = Array.unsafe_get regs x <= 0 in
+      sync pc instrs;
+      on_branch m ~taken;
+      step (if taken then z else pc + 1) instrs
+    | Decode.Bgtz ->
+      let taken = Array.unsafe_get regs x > 0 in
+      sync pc instrs;
+      on_branch m ~taken;
+      step (if taken then z else pc + 1) instrs
+    | Decode.Bgez ->
+      let taken = Array.unsafe_get regs x >= 0 in
+      sync pc instrs;
+      on_branch m ~taken;
+      step (if taken then z else pc + 1) instrs
+    | Decode.Bfp_t ->
+      let taken = m.fcc in
+      sync pc instrs;
+      on_branch m ~taken;
+      step (if taken then z else pc + 1) instrs
+    | Decode.Bfp_f ->
+      let taken = not m.fcc in
+      sync pc instrs;
+      on_branch m ~taken;
+      step (if taken then z else pc + 1) instrs
+    | Decode.Jump -> step z instrs
+    | Decode.Jtab ->
+      let i = Array.unsafe_get regs x in
+      let tab = Array.unsafe_get c.Decode.jtabs y in
+      if i < 0 || i >= Array.length tab then begin
+        sync pc instrs;
+        fault m "jump table index %d out of range" i
+      end;
+      sync pc instrs;
+      on_indirect m;
+      step (Array.unsafe_get tab i) instrs
+    | Decode.Call -> call pc instrs z
+    | Decode.Callr ->
+      sync pc instrs;
+      on_indirect m;
+      call pc instrs (Array.unsafe_get regs x)
+    | Decode.Ret ->
+      if !depth = 0 then finish instrs
+      else begin
+        decr depth;
+        let p = Array.unsafe_get ret_proc !depth in
+        m.proc <- p;
+        cur := Array.unsafe_get dprocs p;
+        step (Array.unsafe_get ret_pc !depth) instrs
+      end
+    | Decode.ReadI ->
+      let v =
+        if m.icursor < nints then Array.unsafe_get ints m.icursor else -1
+      in
+      m.icursor <- m.icursor + 1;
+      if x <> 0 then Array.unsafe_set regs x v;
+      step (pc + 1) instrs
+    | Decode.ReadF ->
+      let v =
+        if m.fcursor < nfloats then Array.unsafe_get floats m.fcursor else 0.
+      in
+      m.fcursor <- m.fcursor + 1;
+      Array.unsafe_set fregs x v;
+      step (pc + 1) instrs
+    | Decode.PrintI ->
+      m.checksum <-
+        ((m.checksum * 31) + Array.unsafe_get regs x) land 0x3FFFFFFFFFFF;
+      step (pc + 1) instrs
+    | Decode.PrintF ->
+      let v = Array.unsafe_get fregs x *. 4096. in
+      let v =
+        if Float.is_nan v || Float.abs v >= 1e18 then 0x5EED else int_of_float v
+      in
+      m.checksum <- ((m.checksum * 31) + v) land 0x3FFFFFFFFFFF;
+      step (pc + 1) instrs
+    | Decode.Halt -> finish instrs
+    | Decode.Nop -> step (pc + 1) instrs
+  and call pc instrs target =
+    if !depth >= max_call_depth then begin
+      sync pc instrs;
+      fault m "call stack overflow"
+    end;
+    Array.unsafe_set ret_proc !depth m.proc;
+    Array.unsafe_set ret_pc !depth (pc + 1);
+    incr depth;
+    if target < 0 || target >= nprocs then begin
+      sync pc instrs;
+      fault m "call to bad procedure index %d" target
+    end;
+    m.proc <- target;
+    cur := Array.unsafe_get dprocs target;
+    step 0 instrs
+  in
+  Fun.protect ~finally:(fun () -> release_mem m) (fun () -> step 0 0)
+
+let run ?max_instrs ?on_branch ?on_indirect prog input =
+  run_decoded ?max_instrs ?on_branch ?on_indirect (Decode.of_program prog)
+    input
+
+(* ---- the legacy variant-dispatch interpreter ----
+
+   Kept as the differential-testing reference for the decoded path: it
+   pattern-matches the original [Mips.Insn] representation on every
+   step.  [run] above must be observationally identical (stats, hook
+   sequences, fault messages). *)
+
+let run_legacy ?(max_instrs = 2_000_000_000) ?(on_branch = nobranch)
     ?(on_indirect = noindirect) prog input =
   let m = create prog input in
   let callees = resolve_callees prog in

@@ -22,6 +22,11 @@ type t = {
   mutable icursor : int;
   mutable fcursor : int;
   input : Dataset.t;
+  mutable dirty_lo : int;
+    (** highest dirtied memory word below the midpoint, [-1] if none *)
+  mutable dirty_hi : int;
+    (** lowest dirtied memory word at or above the midpoint,
+        [mem_words] if none *)
 }
 
 exception Fault of string
@@ -46,5 +51,30 @@ val run :
     [t.proc]/[t.pc] still address the branch.  [on_indirect] fires at
     jump-table transfers and indirect calls.
 
+    Decodes with {!Decode.of_program} and runs {!run_decoded}; callers
+    executing the same program many times should decode once
+    themselves.
+
     @param max_instrs fault after this many instructions
     (default [2_000_000_000]). *)
+
+val run_decoded :
+  ?max_instrs:int ->
+  ?on_branch:(t -> taken:bool -> unit) ->
+  ?on_indirect:(t -> unit) ->
+  Decode.t -> Dataset.t -> stats
+(** Like {!run} on a program decoded up front.  The hot loop keeps the
+    program counter and instruction count in locals and dispatches on
+    the dense {!Decode.op} code; [t.proc]/[t.pc]/[t.instrs] are
+    synchronised before every [on_branch]/[on_indirect] call and every
+    fault, so observers see exactly what {!run_legacy} exposes. *)
+
+val run_legacy :
+  ?max_instrs:int ->
+  ?on_branch:(t -> taken:bool -> unit) ->
+  ?on_indirect:(t -> unit) ->
+  Mips.Program.t -> Dataset.t -> stats
+(** The original variant-dispatch interpreter, kept as the reference
+    implementation for differential tests against the decoded path.
+    Observationally identical to {!run}: same stats, same hook
+    sequence, same fault messages. *)

@@ -35,6 +35,9 @@ val nbuckets : int
 
 val run :
   ?max_instrs:int ->
+  ?decoded:Decode.t ->
   Mips.Program.t -> Dataset.t -> (string * prediction_bits) list ->
   result list
-(** Execute once, measuring every labelled predictor. *)
+(** Execute once, measuring every labelled predictor.  [decoded], when
+    given, must be the decoding of this very program (checked by
+    physical equality) and skips the per-call decode pass. *)

@@ -1,0 +1,151 @@
+(* Tests for the persistent result cache: memo hit/miss behaviour,
+   the enabled switch, key/version separation, corruption tolerance
+   and clearing.  Every test redirects the store to its own temporary
+   directory so nothing touches the repo's [_cache/]. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let with_temp_store f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ballarus_cache_test_%d_%d" (Unix.getpid ())
+         (Random.bits ()))
+  in
+  let old_dir = Cache.Store.dir () in
+  let old_enabled = Cache.Store.enabled () in
+  Cache.Store.set_dir dir;
+  Cache.Store.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.Store.clear ();
+      (try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ());
+      Cache.Store.set_dir old_dir;
+      Cache.Store.set_enabled old_enabled)
+    (fun () -> f dir)
+
+let entry_files dir =
+  if Sys.file_exists dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".bin")
+    |> List.map (Filename.concat dir)
+  else []
+
+let test_memo_roundtrip () =
+  with_temp_store (fun dir ->
+      let calls = ref 0 in
+      let compute () =
+        incr calls;
+        [| 1; 2; 3 |]
+      in
+      let a = Cache.Store.memo ~version:"t/1" ~key:("k", 7) compute in
+      let b = Cache.Store.memo ~version:"t/1" ~key:("k", 7) compute in
+      checki "computed once" 1 !calls;
+      checkb "identical values" true (a = b);
+      checki "one entry on disk" 1 (List.length (entry_files dir));
+      (* distinct keys and distinct versions are distinct entries *)
+      let _ = Cache.Store.memo ~version:"t/1" ~key:("k", 8) compute in
+      let _ = Cache.Store.memo ~version:"t/2" ~key:("k", 7) compute in
+      checki "three computes total" 3 !calls;
+      checki "three entries on disk" 3 (List.length (entry_files dir)))
+
+let test_disabled_bypasses () =
+  with_temp_store (fun dir ->
+      Cache.Store.set_enabled false;
+      let calls = ref 0 in
+      let compute () =
+        incr calls;
+        42
+      in
+      let a = Cache.Store.memo ~version:"t/1" ~key:"x" compute in
+      let b = Cache.Store.memo ~version:"t/1" ~key:"x" compute in
+      checki "both values correct" 42 a;
+      checki "both values correct" 42 b;
+      checki "computed every time" 2 !calls;
+      checki "nothing written" 0 (List.length (entry_files dir)))
+
+let corrupt path garbage =
+  let oc = open_out_bin path in
+  output_string oc garbage;
+  close_out oc
+
+let test_corrupt_entry_recomputed () =
+  with_temp_store (fun dir ->
+      let calls = ref 0 in
+      let compute () =
+        incr calls;
+        "payload"
+      in
+      let _ = Cache.Store.memo ~version:"t/1" ~key:0 compute in
+      let path =
+        match entry_files dir with
+        | [ p ] -> p
+        | l -> Alcotest.failf "expected one entry, found %d" (List.length l)
+      in
+      (* flipped payload bytes: digest check must reject the entry *)
+      corrupt path "ballarus-cache/1\nnot-a-digest\ngarbage";
+      let v = Cache.Store.memo ~version:"t/1" ~key:0 compute in
+      Alcotest.(check string) "recomputed value" "payload" v;
+      checki "recompute happened" 2 !calls;
+      (* truncated entry *)
+      corrupt path "ballarus-c";
+      let v = Cache.Store.memo ~version:"t/1" ~key:0 compute in
+      Alcotest.(check string) "recomputed after truncation" "payload" v;
+      checki "recompute happened again" 3 !calls;
+      (* the rewrite must have produced a readable entry again *)
+      let v = Cache.Store.memo ~version:"t/1" ~key:0 compute in
+      Alcotest.(check string) "hit after rewrite" "payload" v;
+      checki "no further compute" 3 !calls)
+
+let test_clear_empties_store () =
+  with_temp_store (fun dir ->
+      let calls = ref 0 in
+      let compute () =
+        incr calls;
+        ()
+      in
+      Cache.Store.memo ~version:"t/1" ~key:1 compute;
+      Cache.Store.memo ~version:"t/1" ~key:2 compute;
+      checki "two entries" 2 (List.length (entry_files dir));
+      Cache.Store.clear ();
+      checki "cleared" 0 (List.length (entry_files dir));
+      Cache.Store.memo ~version:"t/1" ~key:1 compute;
+      checki "recomputed after clear" 3 !calls)
+
+(* a cached profile must be indistinguishable from a fresh one: run a
+   real workload product through the store and compare *)
+let test_profile_through_store () =
+  with_temp_store (fun _dir ->
+      let wl = Workloads.Registry.find "gcc" in
+      let prog = Workloads.Workload.compile wl in
+      let ds = Workloads.Workload.primary_dataset wl in
+      let fresh = Sim.Profile.run prog ds in
+      let compute () = Sim.Profile.run prog ds in
+      let cold = Cache.Store.memo ~version:"t-prof/1" ~key:(prog, ds) compute in
+      let warm = Cache.Store.memo ~version:"t-prof/1" ~key:(prog, ds) compute in
+      checkb "cold = fresh" true
+        (cold.stats = fresh.stats && cold.taken = fresh.taken
+       && cold.fall = fresh.fall);
+      checkb "warm (unmarshalled) = fresh" true
+        (warm.stats = fresh.stats && warm.taken = fresh.taken
+       && warm.fall = fresh.fall))
+
+let () =
+  Random.self_init ();
+  Alcotest.run "cache"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "memo roundtrip and key separation" `Quick
+            test_memo_roundtrip;
+          Alcotest.test_case "disabled store bypasses disk" `Quick
+            test_disabled_bypasses;
+          Alcotest.test_case "corrupt entries are recomputed" `Quick
+            test_corrupt_entry_recomputed;
+          Alcotest.test_case "clear empties the store" `Quick
+            test_clear_empties_store;
+          Alcotest.test_case "profile survives the store" `Quick
+            test_profile_through_store;
+        ] );
+    ]

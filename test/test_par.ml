@@ -64,7 +64,7 @@ let test_reduce_merges_in_chunk_order () =
       ~n:103 ~chunk:10
       ~map:(fun lo hi -> [ (lo, hi) ])
       ~merge:(fun a b -> a @ b)
-      ~init:[]
+      ~init:[] ()
   in
   checki "11 chunks" 11 (List.length expected);
   List.iter
@@ -74,9 +74,21 @@ let test_reduce_merges_in_chunk_order () =
             Par.Pool.reduce p ~n:103 ~chunk:10
               ~map:(fun lo hi -> [ (lo, hi) ])
               ~merge:(fun a b -> a @ b)
-              ~init:[]
+              ~init:[] ()
           in
-          checkb "chunk order independent of width" true (got = expected)))
+          checkb "chunk order independent of width" true (got = expected);
+          (* batching groups chunks into fewer tasks but must not
+             change the merge: same chunks, same ascending order *)
+          List.iter
+            (fun batch ->
+              let got =
+                Par.Pool.reduce p ~batch ~n:103 ~chunk:10
+                  ~map:(fun lo hi -> [ (lo, hi) ])
+                  ~merge:(fun a b -> a @ b)
+                  ~init:[] ()
+              in
+              checkb "batched reduce identical" true (got = expected))
+            [ 2; 3; 16 ]))
     widths
 
 exception Boom
@@ -119,17 +131,50 @@ let test_fewer_tasks_than_jobs () =
       let chunks =
         Par.Pool.reduce p ~n:3 ~chunk:64
           ~map:(fun lo hi -> [ (lo, hi) ])
-          ~merge:( @ ) ~init:[]
+          ~merge:( @ ) ~init:[] ()
       in
       checkb "single chunk" true (chunks = [ (0, 3) ]);
       (* more chunks than needed to occupy the pool is also fine *)
       let chunks =
         Par.Pool.reduce p ~n:10 ~chunk:3
           ~map:(fun lo hi -> [ (lo, hi) ])
-          ~merge:( @ ) ~init:[]
+          ~merge:( @ ) ~init:[] ()
       in
       checkb "ragged tail, ascending" true
         (chunks = [ (0, 3); (3, 6); (6, 9); (9, 10) ]))
+
+let test_min_per_domain_threshold () =
+  (* below the threshold the combinators must not hand work to any
+     other domain: every body runs on the calling domain *)
+  let self () = (Domain.self () :> int) in
+  with_pool 4 (fun p ->
+      let caller = self () in
+      let input = Array.init 9 (fun i -> i) in
+      let seen = Array.make 9 (-1) in
+      let out =
+        Par.Pool.parallel_map p ~min_per_domain:5
+          (fun x ->
+            seen.(x) <- self ();
+            x * 2)
+          input
+      in
+      checkb "map result unchanged" true
+        (out = Array.map (fun x -> x * 2) input);
+      Array.iter (checki "ran on the caller" caller) seen;
+      Array.fill seen 0 9 (-1);
+      Par.Pool.parallel_for p ~min_per_domain:5 9 (fun i -> seen.(i) <- self ());
+      Array.iter (checki "for ran on the caller" caller) seen;
+      let lst =
+        Par.Pool.parallel_map_list p ~min_per_domain:5 (fun x -> x + 1)
+          [ 1; 2; 3 ]
+      in
+      checkb "map_list result unchanged" true (lst = [ 2; 3; 4 ]);
+      (* at or above 2 x min_per_domain the parallel path re-engages
+         and still produces identical results *)
+      let big = Array.init 64 (fun i -> i) in
+      let out = Par.Pool.parallel_map p ~min_per_domain:5 (fun x -> x * 3) big in
+      checkb "above threshold identical" true
+        (out = Array.map (fun x -> x * 3) big))
 
 let test_default_pool_set_jobs () =
   Par.Pool.set_jobs 3;
@@ -156,6 +201,8 @@ let () =
             test_nested_data_parallel_sections;
           Alcotest.test_case "fewer tasks than jobs" `Quick
             test_fewer_tasks_than_jobs;
+          Alcotest.test_case "min_per_domain threshold" `Quick
+            test_min_per_domain_threshold;
           Alcotest.test_case "default pool" `Quick test_default_pool_set_jobs;
         ] );
     ]
