@@ -9,11 +9,15 @@
      dune exec bench/main.exe table2 graph4
    Special arguments: "all" (default), "quick" (cap the subset
    experiment), "timings" (parallel stage timings + the Bechamel
-   section), "json" (emit the machine-readable BENCH_2.json perf
-   trajectory: per-stage -j scaling plus cold/warm disk-cache wall
-   times), "compare A.json B.json" (diff two bench JSON files, exit
-   nonzero on regression), "perf-smoke" (tiny workload sanity run,
-   exit nonzero if the parallel path loses badly).
+   section), "json" (emit the machine-readable BENCH_3.json perf
+   trajectory: per-stage -j scaling, cold/warm disk-cache wall times,
+   robustness counters), "compare A.json B.json" (diff two bench JSON
+   files of any schema version 1-3, exit nonzero on regression),
+   "perf-smoke" (tiny workload sanity run, exit nonzero if the
+   parallel path loses badly), "chaos-smoke [SEED]" (run the quick
+   suite twice — clean, then under seeded fault injection — and fail
+   unless the tables are byte-identical and every injected cache
+   fault was recovered).
 
    "-j N" anywhere on the command line sets the domain count for the
    parallel sections (default: BALLARUS_JOBS or the machine's
@@ -132,11 +136,15 @@ let json_escape s =
   Buffer.contents buf
 
 let emit_json jn =
+  Robust.Counters.reset ();
+  Cache.Store.reset_recovery ();
   let results = measure_stages jn in
   let cold, warm = measure_cold_warm jn in
+  let rc = Robust.Counters.snapshot () in
+  let sr = Cache.Store.recovery () in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"ballarus-bench/2\",\n";
+  Buffer.add_string buf "  \"schema\": \"ballarus-bench/3\",\n";
   Buffer.add_string buf "  \"generated_by\": \"bench/main.exe json\",\n";
   Buffer.add_string buf
     (match Par.Pool.requested_jobs () with
@@ -161,15 +169,32 @@ let emit_json jn =
   Buffer.add_string buf (Printf.sprintf "  \"cold_wall_s\": %.6f,\n" cold);
   Buffer.add_string buf (Printf.sprintf "  \"warm_wall_s\": %.6f,\n" warm);
   Buffer.add_string buf
-    (Printf.sprintf "  \"warm_speedup\": %.3f\n"
+    (Printf.sprintf "  \"warm_speedup\": %.3f,\n"
        (if warm > 0. then cold /. warm else Float.nan));
+  (* schema 3: how much fault recovery the measured run needed — on a
+     healthy host every count is 0 *)
+  Buffer.add_string buf "  \"robustness\": {\n";
+  Buffer.add_string buf (Printf.sprintf "    \"retries\": %d,\n" rc.retries);
+  Buffer.add_string buf (Printf.sprintf "    \"timeouts\": %d,\n" rc.timeouts);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"fuel_exhausted\": %d,\n" rc.fuel_exhausted);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"task_failures\": %d,\n" rc.task_failures);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"cache_corrupt_quarantined\": %d,\n"
+       sr.corrupt_quarantined);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"cache_write_retries\": %d,\n" sr.write_retries);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"cache_write_failures\": %d\n" sr.write_failures);
+  Buffer.add_string buf "  }\n";
   Buffer.add_string buf "}\n";
   let out = Buffer.contents buf in
-  let oc = open_out "BENCH_2.json" in
+  let oc = open_out "BENCH_3.json" in
   output_string oc out;
   close_out oc;
   print_string out;
-  Printf.printf "wrote BENCH_2.json\n%!"
+  Printf.printf "wrote BENCH_3.json\n%!"
 
 (* ---- minimal JSON reader for "compare" ----
 
@@ -329,6 +354,8 @@ type bench_file = {
   experiments : (string * float * float) list; (* name, j1, jn *)
   cold : float option;
   warm : float option;
+  robustness : (string * float) list;
+      (* schema 3 counters; empty for older files *)
 }
 
 let read_bench_file path =
@@ -354,12 +381,21 @@ let read_bench_file path =
         items
     | _ -> []
   in
+  let robustness =
+    match Json.member "robustness" j with
+    | Some (Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) -> match v with Json.Num f -> Some (k, f) | _ -> None)
+        kvs
+    | _ -> []
+  in
   {
     path;
     schema;
     experiments;
     cold = Json.num_field "cold_wall_s" j;
     warm = Json.num_field "warm_wall_s" j;
+    robustness;
   }
 
 (* A stage regresses when it gets >10% slower AND loses more than 50ms
@@ -401,6 +437,24 @@ let compare_benches old_path new_path =
   | _ -> ());
   if regressed ~old_s:told ~new_s:tnew then
     regressions := "TOTAL(j1)" :: !regressions;
+  (* Robustness counters (schema 3) are informational: recovery that
+     happened during the measured run, not a perf signal — so they are
+     printed, never gated on. *)
+  if b.robustness <> [] || a.robustness <> [] then begin
+    Printf.printf "\nrobustness counters:\n";
+    let keys =
+      List.sort_uniq String.compare
+        (List.map fst a.robustness @ List.map fst b.robustness)
+    in
+    List.iter
+      (fun k ->
+        let get r = List.assoc_opt k r in
+        let show = function Some f -> Printf.sprintf "%.0f" f | None -> "-" in
+        Printf.printf "%-28s %6s -> %6s\n" k
+          (show (get a.robustness))
+          (show (get b.robustness)))
+      keys
+  end;
   match !regressions with
   | [] ->
     Printf.printf "\nno regressions\n";
@@ -456,6 +510,85 @@ let perf_smoke jn =
   | fs ->
     Printf.printf "perf-smoke FAILED: parallel slower than sequential on %s\n"
       (String.concat ", " (List.rev fs));
+    1
+
+(* ---- chaos-smoke: the robustness gate ----
+
+   Runs the quick experiment suite twice against an isolated on-disk
+   store: once clean (filling the store), once with seeded fault
+   injection armed — cache-entry corruption, a task exception inside
+   the parallel prewarm, scheduling delays.  One cache corruption and
+   one task raise are force-armed so the gate exercises both recovery
+   paths on every seed.  Passes only if the chaos run's tables are
+   byte-identical to the clean run's, no experiment failed
+   permanently, and every injected cache corruption was quarantined
+   exactly once. *)
+
+let chaos_smoke seed =
+  Printf.printf "==== chaos-smoke (seed %d) ====\n%!" seed;
+  let cache_dir = Printf.sprintf "_chaos_cache_%d" (Unix.getpid ()) in
+  Cache.Store.set_dir cache_dir;
+  Cache.Store.set_enabled true;
+  Cache.Store.clear ();
+  let reset_memory () =
+    Experiments.Bench_run.reset ();
+    Experiments.Orderings.reset ();
+    Experiments.Traces.reset ()
+  in
+  let render () =
+    let buf = Buffer.create (1 lsl 16) in
+    let bppf = Format.formatter_of_buffer buf in
+    let s = Experiments.Driver.run_all ~quick:true bppf in
+    Format.pp_print_flush bppf ();
+    (Buffer.contents buf, s)
+  in
+  reset_memory ();
+  let clean_out, clean_sum = render () in
+  reset_memory ();
+  Cache.Store.reset_recovery ();
+  Robust.Counters.reset ();
+  Robust.Inject.reset ();
+  Robust.Inject.set_seed (Some seed);
+  Robust.Inject.force Robust.Inject.Cache_read 1;
+  Robust.Inject.force Robust.Inject.Task 1;
+  let chaos_out, chaos_sum = render () in
+  Robust.Inject.set_seed None;
+  let injected = Robust.Inject.summary () in
+  let total_injected = List.fold_left (fun a (_, n) -> a + n) 0 injected in
+  let recovery = Cache.Store.recovery () in
+  let counters = Robust.Counters.snapshot () in
+  Printf.printf "injected faults:%s\n"
+    (String.concat ""
+       (List.map (fun (s, n) -> Printf.sprintf " %s=%d" s n) injected));
+  Printf.printf "cache recovery: %d quarantined, %d write retries, %d write \
+                 failures\n"
+    recovery.corrupt_quarantined recovery.write_retries
+    recovery.write_failures;
+  Format.printf "supervisor: %a@." Robust.Counters.pp counters;
+  Format.printf "clean run:  %a" Experiments.Driver.pp_summary clean_sum;
+  Format.printf "chaos run:  %a" Experiments.Driver.pp_summary chaos_sum;
+  (* tear down the isolated store *)
+  Cache.Store.clear ();
+  (try Sys.rmdir cache_dir with Sys_error _ -> ());
+  let failures = ref [] in
+  let check cond msg = if not cond then failures := msg :: !failures in
+  check (total_injected > 0) "no faults were injected";
+  check
+    (String.equal chaos_out clean_out)
+    "chaos run tables differ from clean run";
+  check (clean_sum.failed = 0) "clean run had permanent failures";
+  check (chaos_sum.failed = 0) "chaos run had permanent failures";
+  check
+    (recovery.corrupt_quarantined = Robust.Inject.fired Robust.Inject.Cache_read)
+    "not every injected cache corruption was quarantined";
+  match List.rev !failures with
+  | [] ->
+    Printf.printf "chaos-smoke OK: byte-identical tables under %d injected \
+                   faults\n"
+      total_injected;
+    0
+  | fs ->
+    Printf.printf "chaos-smoke FAILED: %s\n" (String.concat "; " fs);
     1
 
 (* One Bechamel test per experiment driver.  The first full run above
@@ -569,22 +702,35 @@ let rec parse_flags acc = function
 let () =
   let args = parse_flags [] (List.tl (Array.to_list Sys.argv)) in
   let ppf = Format.std_formatter in
+  let run_suite ?quick () =
+    let s = Experiments.Driver.run_all ?quick ppf in
+    Experiments.Driver.pp_summary Format.err_formatter s;
+    if Experiments.Driver.exit_code s <> 0 then
+      exit (Experiments.Driver.exit_code s)
+  in
   match args with
   | [] | [ "all" ] ->
-    Experiments.Driver.run_all ppf;
+    run_suite ();
     run_timings ()
   | [ "quick" ] ->
-    Experiments.Driver.run_all ~quick:true ppf;
+    run_suite ~quick:true ();
     run_timings ()
   | [ "timings" ] ->
     print_stage_timings (Par.Pool.effective_jobs ());
     (* warm the remaining caches for the Bechamel section *)
-    Experiments.Driver.run_all ~quick:true null_formatter;
+    ignore (Experiments.Driver.run_all ~quick:true null_formatter);
     run_timings ()
   | [ "json" ] -> emit_json (Par.Pool.effective_jobs ())
   | [ "compare"; old_path; new_path ] ->
     exit (compare_benches old_path new_path)
   | [ "perf-smoke" ] -> exit (perf_smoke (Par.Pool.effective_jobs ()))
+  | [ "chaos-smoke" ] -> exit (chaos_smoke 1933)
+  | [ "chaos-smoke"; seed ] -> (
+    match int_of_string_opt seed with
+    | Some seed -> exit (chaos_smoke seed)
+    | None ->
+      Printf.eprintf "bad chaos-smoke seed %S\n" seed;
+      exit 1)
   | ids ->
     List.iter
       (fun id ->

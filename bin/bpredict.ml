@@ -62,13 +62,40 @@ let no_cache_arg =
 let apply_no_cache no_cache = if no_cache then Cache.Store.set_enabled false
 
 let handle_errors f =
-  try f () with
-  | Minic.Frontend.Error msg | Failure msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 1
-  | Sim.Machine.Fault msg ->
-    Printf.eprintf "runtime fault: %s\n" msg;
-    exit 2
+  (* Pool task failures are unwrapped so the user sees the underlying
+     error (and the exit code matches it), not the pool's wrapper. *)
+  let rec handle = function
+    | Par.Pool.Task_failed { exn; _ } -> handle exn
+    | Minic.Frontend.Error msg | Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | Sim.Machine.Fault msg ->
+      Printf.eprintf "runtime fault: %s\n" msg;
+      exit 2
+    | Sim.Machine.Out_of_fuel msg ->
+      Printf.eprintf "runtime fault: %s\n" msg;
+      exit 2
+    | e -> raise e
+  in
+  try f () with e -> handle e
+
+let timeout_arg =
+  let doc =
+    "Per-experiment wall-clock timeout in seconds; an experiment that \
+     misses it fails with a timeout banner and the suite continues."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS" ~doc)
+
+let chaos_arg =
+  let doc =
+    "Enable seeded fault injection (cache corruption, task failures, \
+     delays) with this seed.  Equivalent to setting $(b,BALLARUS_CHAOS)."
+  in
+  Arg.(value & opt (some int) None & info [ "chaos" ] ~docv:"SEED" ~doc)
+
+let apply_chaos = function
+  | Some seed -> Robust.Inject.set_seed (Some seed)
+  | None -> ()
 
 (* ---- compile ---- *)
 
@@ -266,22 +293,43 @@ let experiment_cmd =
     Arg.(value & flag & info [ "quick" ]
            ~doc:"Cap the subset experiment at 20,000 trials.")
   in
-  let run id quick jobs no_cache =
+  let run id quick jobs no_cache timeout chaos =
     handle_errors (fun () ->
         apply_jobs jobs;
         apply_no_cache no_cache;
-        if String.equal id "all" then
-          Experiments.Driver.run_all ~quick Format.std_formatter
+        apply_chaos chaos;
+        if String.equal id "all" then begin
+          let summary =
+            Experiments.Driver.run_all ~quick ?timeout Format.std_formatter
+          in
+          Experiments.Driver.pp_summary Format.err_formatter summary;
+          exit (Experiments.Driver.exit_code summary)
+        end
         else
           match Experiments.Driver.find id with
-          | Some e -> e.run Format.std_formatter
+          | Some e ->
+            let summary =
+              Experiments.Driver.run_list ~quick ?timeout ~warm:false [ e ]
+                Format.std_formatter
+            in
+            if Experiments.Driver.exit_code summary <> 0 then begin
+              Experiments.Driver.pp_summary Format.err_formatter summary;
+              exit (Experiments.Driver.exit_code summary)
+            end
           | None ->
-            failwith
-              (Printf.sprintf "unknown experiment %s (try 'list')" id))
+            Printf.eprintf
+              "error: unknown experiment %s; valid ids are:\n" id;
+            List.iter
+              (fun (e : Experiments.Driver.experiment) ->
+                Printf.eprintf "  %s\n" e.id)
+              Experiments.Driver.all;
+            Printf.eprintf "  all\n";
+            exit 1)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures")
-    Term.(const run $ id_arg $ quick_arg $ jobs_arg $ no_cache_arg)
+    Term.(const run $ id_arg $ quick_arg $ jobs_arg $ no_cache_arg
+          $ timeout_arg $ chaos_arg)
 
 (* ---- list ---- *)
 

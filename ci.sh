@@ -14,4 +14,7 @@ dune build @fuzz-smoke
 echo "== tier 2: perf smoke (@perf-smoke)"
 dune build @perf-smoke
 
+echo "== tier 2: chaos smoke (@chaos-smoke)"
+dune build @chaos-smoke
+
 echo "CI OK"

@@ -18,6 +18,39 @@ let dir_ref =
 let dir () = !dir_ref
 let set_dir d = dir_ref := d
 
+(* ---- recovery counters ----
+
+   The store's own account of the faults it absorbed: corrupt entries
+   quarantined, write attempts retried, writes abandoned.  Bench JSON
+   (schema 3) and the chaos smoke gate read these. *)
+
+type recovery = {
+  corrupt_quarantined : int;
+  write_retries : int;
+  write_failures : int;
+}
+
+let recovery_mutex = Mutex.create ()
+let corrupt_quarantined = ref 0
+let write_retries = ref 0
+let write_failures = ref 0
+
+let recovery () =
+  Mutex.protect recovery_mutex (fun () ->
+      {
+        corrupt_quarantined = !corrupt_quarantined;
+        write_retries = !write_retries;
+        write_failures = !write_failures;
+      })
+
+let reset_recovery () =
+  Mutex.protect recovery_mutex (fun () ->
+      corrupt_quarantined := 0;
+      write_retries := 0;
+      write_failures := 0)
+
+let bump cell = Mutex.protect recovery_mutex (fun () -> incr cell)
+
 let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
 
 (* Entry name: digest of the store format, the caller's version tag and
@@ -28,11 +61,12 @@ let entry_path ~version key =
   Filename.concat (dir ()) (Digest.to_hex k ^ ".bin")
 
 (* An entry is [format_tag] NL [digest-of-payload-hex] NL [payload].
-   The digest makes truncation and bit corruption detectable, so a bad
-   entry falls through to recomputation instead of surfacing garbage. *)
+   The digest makes truncation and bit corruption detectable.  A
+   missing entry is a [`Miss]; an existing but damaged one is
+   [`Corrupt], which the caller quarantines. *)
 let read_entry path =
   match open_in_bin path with
-  | exception Sys_error _ -> None
+  | exception Sys_error _ -> `Miss
   | ic ->
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
@@ -44,17 +78,29 @@ let read_entry path =
           let payload = really_input_string ic len in
           (tag, hex, payload)
         with
-        | exception _ -> None
+        | exception _ -> `Corrupt
         | tag, hex, payload ->
           if tag = format_tag && Digest.to_hex (Digest.string payload) = hex
           then
             match Marshal.from_string payload 0 with
-            | v -> Some v
-            | exception _ -> None
-          else None)
+            | v -> `Hit v
+            | exception _ -> `Corrupt
+          else `Corrupt)
+
+(* Delete a damaged entry so it cannot re-trip every subsequent run;
+   count it either way.  Deletion failing (e.g. a concurrent writer
+   already replaced the file) is fine — the recompute path overwrites
+   it anyway. *)
+let quarantine path =
+  bump corrupt_quarantined;
+  try Sys.remove path with Sys_error _ -> ()
+
+let transient_write = function
+  | Sys_error _ | Unix.Unix_error _ -> true
+  | _ -> false
 
 let write_entry path payload =
-  try
+  let attempt () =
     ensure_dir (dir ());
     let tmp =
       Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
@@ -69,16 +115,34 @@ let write_entry path payload =
         output_string oc (Digest.to_hex (Digest.string payload));
         output_char oc '\n';
         output_string oc payload);
+    Robust.Inject.fail_write ();
     (* atomic publish: concurrent writers of the same key race benignly,
        last rename wins and every version is valid *)
     Sys.rename tmp path
-  with Sys_error _ | Unix.Unix_error _ -> ()
+  in
+  (* A failed write only costs warmth, never correctness — so retry it
+     a few times with backoff and give up quietly.  The retry seed is
+     fixed: write paths must behave identically run to run. *)
+  try
+    Robust.Backoff.retry ~retry_on:transient_write
+      ~on_retry:(fun ~attempt:_ ~delay_s:_ _ -> bump write_retries)
+      ~seed:0 ~label:("cache-write:" ^ path) attempt
+  with e when transient_write e -> bump write_failures
 
 let memo ~version ~key compute =
   if not !enabled_flag then compute ()
   else begin
     let path = entry_path ~version (Marshal.to_string key []) in
-    match read_entry path with
+    ignore (Robust.Inject.corrupt_entry path : bool);
+    let cached =
+      match read_entry path with
+      | `Hit v -> Some v
+      | `Miss -> None
+      | `Corrupt ->
+        quarantine path;
+        None
+    in
+    match cached with
     | Some v -> v
     | None ->
       let v = compute () in

@@ -14,8 +14,12 @@
 
     Robustness: entries are written to a temporary file and renamed
     into place, so readers never observe a half-written entry; every
-    entry carries a payload digest, and unreadable, truncated or
-    corrupt entries are silently recomputed and rewritten. *)
+    entry carries a payload digest.  A corrupt or truncated entry is
+    quarantined (deleted and counted) so it cannot re-trip on every
+    subsequent run, then recomputed and rewritten; failed writes are
+    retried with backoff and, if still failing, abandoned — a cache
+    write only costs warmth, never correctness.  {!recovery} exposes
+    the counters. *)
 
 val enabled : unit -> bool
 (** Whether lookups and writes happen at all.  Starts as
@@ -44,3 +48,17 @@ val memo : version:string -> key:'k -> (unit -> 'v) -> 'v
 
 val clear : unit -> unit
 (** Delete every entry in {!dir}.  Missing directory is fine. *)
+
+(** {1 Recovery counters} *)
+
+type recovery = {
+  corrupt_quarantined : int;
+      (** damaged entries detected, deleted and recomputed *)
+  write_retries : int;  (** failed write attempts that were retried *)
+  write_failures : int;  (** writes abandoned after exhausting retries *)
+}
+
+val recovery : unit -> recovery
+(** The store's recovery counters since the last {!reset_recovery}. *)
+
+val reset_recovery : unit -> unit

@@ -30,6 +30,10 @@ let load wl =
   match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache name) with
   | Some t -> t
   | None ->
+    (* chaos hooks: an armed injector may delay this pipeline or raise
+       inside it, exercising pool survival and supervisor retries *)
+    Robust.Inject.delay ~label:("load:" ^ name);
+    Robust.Inject.raise_in_task ~label:("load:" ^ name);
     let prog = Workloads.Workload.compile wl in
     let decoded = Sim.Decode.of_program prog in
     let analyses = Cfg.Analysis.of_program prog in

@@ -60,13 +60,85 @@ let prewarm () =
   ignore (Bench_run.load_all ());
   Traces.warm ()
 
-let run_all ?(quick = false) ppf =
-  prewarm ();
-  List.iter
-    (fun e ->
-      Format.fprintf ppf "==== %s ====@.@." e.title;
+(* ---- supervised suite execution ---- *)
+
+type task_result =
+  | Passed
+  | Degraded of int
+  | Failed of Robust.Fault.t
+
+type summary = {
+  passed : int;
+  degraded : int;
+  failed : int;
+  results : (string * task_result) list;
+}
+
+(* One experiment under the fault boundary.  The body renders into a
+   private buffer, not the caller's formatter: a retried attempt
+   discards its partial output, so a recovered experiment emits
+   exactly the bytes a clean run would. *)
+let run_one ?timeout ~quick e =
+  Robust.Supervise.run ?timeout ~label:e.id (fun () ->
+      let buf = Buffer.create 4096 in
+      let bppf = Format.formatter_of_buffer buf in
       (match e.quick_run with
-      | Some quick_run when quick -> quick_run ppf
-      | _ -> e.run ppf);
-      Format.fprintf ppf "@.")
-    all
+      | Some quick_run when quick -> quick_run bppf
+      | _ -> e.run bppf);
+      Format.pp_print_flush bppf ();
+      Buffer.contents buf)
+
+let run_list ?(quick = false) ?timeout ?(warm = true) exps ppf =
+  (* A permanent prewarm failure only costs parallel warmth — every
+     experiment recomputes what it needs on demand — so it is reported
+     on stderr and the suite proceeds with the tables untouched. *)
+  if warm then
+    (match Robust.Supervise.run ~label:"prewarm" prewarm with
+    | { status = Failed fault; _ } ->
+      Robust.Fault.pp_banner Format.err_formatter fault
+    | _ -> ());
+  let results =
+    List.map
+      (fun e ->
+        Format.fprintf ppf "==== %s ====@.@." e.title;
+        let o = run_one ?timeout ~quick e in
+        (match o.Robust.Supervise.status with
+        | Failed fault -> Robust.Fault.pp_banner ppf fault
+        | Completed | Recovered _ ->
+          Format.pp_print_string ppf (Option.get o.value));
+        Format.fprintf ppf "@.";
+        let r =
+          match o.status with
+          | Completed -> Passed
+          | Recovered n -> Degraded n
+          | Failed fault -> Failed fault
+        in
+        (e.id, r))
+      exps
+  in
+  let count p = List.length (List.filter (fun (_, r) -> p r) results) in
+  {
+    passed = count (function Passed -> true | _ -> false);
+    degraded = count (function Degraded _ -> true | _ -> false);
+    failed = count (function Failed _ -> true | _ -> false);
+    results;
+  }
+
+let run_all ?quick ?timeout ppf = run_list ?quick ?timeout all ppf
+
+let exit_code s = if s.failed > 0 then 3 else 0
+
+let pp_summary ppf s =
+  Format.fprintf ppf "suite summary: %d passed, %d degraded, %d failed@."
+    s.passed s.degraded s.failed;
+  List.iter
+    (fun (id, r) ->
+      match r with
+      | Passed -> ()
+      | Degraded n ->
+        Format.fprintf ppf "  degraded %s: recovered after %d retr%s@." id n
+          (if n = 1 then "y" else "ies")
+      | Failed (f : Robust.Fault.t) ->
+        Format.fprintf ppf "  failed %s [%s]: %s@." id
+          (Robust.Fault.kind_name f.kind) f.message)
+    s.results

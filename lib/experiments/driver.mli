@@ -1,4 +1,6 @@
-(** Experiment registry: every table and figure by name. *)
+(** Experiment registry: every table and figure by name — and the
+    supervised suite runner that degrades gracefully around
+    failures. *)
 
 type experiment = {
   id : string;       (** e.g. "table2", "graph4" *)
@@ -19,7 +21,45 @@ val prewarm : unit -> unit
 (** Fill the benchmark and trace memo tables in parallel on the
     {!Par.Pool} default pool. *)
 
-val run_all : ?quick:bool -> Format.formatter -> unit
-(** Run every experiment in sequence, with banners, after a parallel
-    {!prewarm}.  [quick] substitutes each experiment's [quick_run]
-    when present (the subset experiment capped at 20,000 trials). *)
+(** {1 Supervised suite execution} *)
+
+type task_result =
+  | Passed  (** first attempt succeeded *)
+  | Degraded of int  (** succeeded after this many retries *)
+  | Failed of Robust.Fault.t  (** permanently failed, classified *)
+
+type summary = {
+  passed : int;
+  degraded : int;
+  failed : int;
+  results : (string * task_result) list;  (** (experiment id, result) *)
+}
+
+val run_list :
+  ?quick:bool -> ?timeout:float -> ?warm:bool -> experiment list ->
+  Format.formatter -> summary
+(** Run the given experiments in sequence after a supervised parallel
+    {!prewarm} ([warm], default [true] — pass [false] for a single
+    experiment that should only compute what it reads), each inside a
+    {!Robust.Supervise} fault boundary with the given per-experiment
+    [timeout].  Each experiment renders into
+    a private buffer, so a retried attempt discards partial output and
+    a recovered run's bytes equal a clean run's.  A permanently failed
+    experiment prints a structured failure banner in place of its
+    table and the suite continues.  Only experiment banners, tables
+    and failure banners go to the formatter — the summary does not, so
+    callers can diff table output byte-for-byte. *)
+
+val run_all : ?quick:bool -> ?timeout:float -> Format.formatter -> summary
+(** {!run_list} over {!all}.  [quick] substitutes each experiment's
+    [quick_run] when present (the subset experiment capped at 20,000
+    trials). *)
+
+val exit_code : summary -> int
+(** [0] when nothing failed permanently (degraded-but-recovered is
+    fine), [3] otherwise — distinct from the CLI's usage (1) and
+    machine-fault (2) exits. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** The passed/degraded/failed report, one line per non-passed
+    experiment.  Callers usually print it to stderr. *)

@@ -25,6 +25,9 @@ let distributions name =
   with
   | Some d -> d
   | None ->
+    (* chaos hooks, as in [Bench_run.load] *)
+    Robust.Inject.delay ~label:("traces:" ^ name);
+    Robust.Inject.raise_in_task ~label:("traces:" ^ name);
     let r = Bench_run.load (Workloads.Registry.find name) in
     let ds = Workloads.Workload.primary_dataset r.wl in
     let predictors = predictors_for r in

@@ -118,7 +118,7 @@ let check_predict prog analyses (profile : Sim.Profile.t) =
    the legacy variant-dispatch loop: same stats and same edge profile *)
 let check_decoded prog (profile : Sim.Profile.t) =
   match Sim.Profile.run_legacy prog dataset with
-  | exception Sim.Machine.Fault msg ->
+  | exception (Sim.Machine.Fault msg | Sim.Machine.Out_of_fuel msg) ->
     [ div "decoded-vs-legacy" "legacy faulted where decoded completed: %s" msg ]
   | legacy ->
     let errs = ref [] in
@@ -161,11 +161,11 @@ let check_source ?(det_check = false) src =
       [ div "interp" "interpreter fault: %s" msg ]
     | istats -> (
       match Sim.Profile.run prog dataset with
-      | exception Sim.Machine.Fault msg ->
+      | exception (Sim.Machine.Fault msg | Sim.Machine.Out_of_fuel msg) ->
         (* decoded faulted: legacy must fault with the very same message *)
         let cross =
           match Sim.Profile.run_legacy prog dataset with
-          | exception Sim.Machine.Fault lmsg ->
+          | exception (Sim.Machine.Fault lmsg | Sim.Machine.Out_of_fuel lmsg) ->
             if String.equal msg lmsg then []
             else
               [
@@ -186,7 +186,7 @@ let check_source ?(det_check = false) src =
           | Error msg -> [ div "compile" "unoptimised compile failed: %s" msg ]
           | Ok uprog -> (
             match Sim.Machine.run uprog dataset with
-            | exception Sim.Machine.Fault msg ->
+            | exception (Sim.Machine.Fault msg | Sim.Machine.Out_of_fuel msg) ->
               [ div "opt-vs-unopt" "unoptimised program faulted: %s" msg ]
             | ustats -> stats_mismatch "opt-vs-unopt" "unopt" istats ustats)
         in

@@ -1,13 +1,35 @@
+exception Task_failed of {
+  index : int;
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Task_failed { index; exn; _ } ->
+      Some
+        (Printf.sprintf "Par.Pool.Task_failed(task %d: %s)" index
+           (Printexc.to_string exn))
+    | _ -> None)
+
+type failure = { index : int; exn : exn; backtrace : Printexc.raw_backtrace }
+
 (* One in-flight fork-join job.  Indices are claimed through [next];
    [finished] counts completed bodies so the caller can wait for the
    stragglers that other domains are still running.  Stale workers that
    wake up after the job is drained claim an index >= total and leave
-   without touching anything. *)
+   without touching anything.  The first failure is recorded in the job
+   itself (guarded by the pool mutex) — never in the pool — so an
+   orphaned straggler from an earlier job can never poison a later
+   one. *)
 type job = {
   body : int -> unit;
   total : int;
+  fail_fast : bool;
   next : int Atomic.t;
   finished : int Atomic.t;
+  cancelled : bool Atomic.t;
+  mutable failure : failure option; (* guarded by the pool mutex *)
 }
 
 type t = {
@@ -17,7 +39,6 @@ type t = {
   idle : Condition.t; (* some job finished its last task *)
   mutable generation : int;
   mutable job : job option;
-  mutable failure : exn option;
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
 }
@@ -25,17 +46,24 @@ type t = {
 let jobs t = t.size
 
 (* Claim and run indices until the job is drained.  Exceptions are
-   recorded (first wins) but never abort the join: [finished] is
-   incremented regardless, so the caller cannot deadlock. *)
+   recorded (first wins, with its backtrace) but never abort the join:
+   [finished] is incremented regardless — also for indices skipped
+   after a fail-fast cancellation — so the caller cannot deadlock and
+   the worker domains survive to serve the next job. *)
 let execute t (j : job) =
   let rec grab () =
     let i = Atomic.fetch_and_add j.next 1 in
     if i < j.total then begin
-      (try j.body i
-       with e ->
-         Mutex.lock t.mutex;
-         if t.failure = None then t.failure <- Some e;
-         Mutex.unlock t.mutex);
+      if not (Atomic.get j.cancelled) then begin
+        try j.body i
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          if j.fail_fast then Atomic.set j.cancelled true;
+          Mutex.lock t.mutex;
+          if j.failure = None then
+            j.failure <- Some { index = i; exn = e; backtrace = bt };
+          Mutex.unlock t.mutex
+      end;
       let f = 1 + Atomic.fetch_and_add j.finished 1 in
       if f = j.total then begin
         Mutex.lock t.mutex;
@@ -71,7 +99,6 @@ let create ~jobs =
       idle = Condition.create ();
       generation = 0;
       job = None;
-      failure = None;
       stopped = false;
       workers = [];
     }
@@ -88,17 +115,43 @@ let shutdown t =
   t.workers <- [];
   List.iter Domain.join ws
 
-let run t n body =
+let raise_failure { index; exn; backtrace } =
+  Printexc.raise_with_backtrace
+    (Task_failed { index; exn; backtrace })
+    backtrace
+
+(* Sequential execution with the same failure contract as the pool:
+   the first exception stops the loop (inherently fail-fast) and is
+   re-raised as [Task_failed] carrying the task index. *)
+let run_seq n body =
+  let i = ref 0 in
+  try
+    while !i < n do
+      body !i;
+      incr i
+    done
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    raise_failure { index = !i; exn = e; backtrace = bt }
+
+let run t ?(fail_fast = false) n body =
   if n > 0 then begin
     if t.size = 1 || n = 1 then
       (* sequential fast path: no handoff, ascending order *)
-      for i = 0 to n - 1 do
-        body i
-      done
+      run_seq n body
     else begin
-      let j = { body; total = n; next = Atomic.make 0; finished = Atomic.make 0 } in
+      let j =
+        {
+          body;
+          total = n;
+          fail_fast;
+          next = Atomic.make 0;
+          finished = Atomic.make 0;
+          cancelled = Atomic.make false;
+          failure = None;
+        }
+      in
       Mutex.lock t.mutex;
-      t.failure <- None;
       t.job <- Some j;
       t.generation <- t.generation + 1;
       Condition.broadcast t.work;
@@ -108,10 +161,9 @@ let run t n body =
       while Atomic.get j.finished < n do
         Condition.wait t.idle t.mutex
       done;
-      let fail = t.failure in
-      t.failure <- None;
+      let fail = j.failure in
       Mutex.unlock t.mutex;
-      match fail with Some e -> raise e | None -> ()
+      match fail with Some f -> raise_failure f | None -> ()
     end
   end
 
@@ -121,12 +173,9 @@ let run t n body =
 let below_threshold min_per_domain n =
   match min_per_domain with Some m -> n < 2 * max 1 m | None -> false
 
-let parallel_for t ?chunk ?min_per_domain n body =
+let parallel_for t ?fail_fast ?chunk ?min_per_domain n body =
   if n > 0 then begin
-    if below_threshold min_per_domain n then
-      for i = 0 to n - 1 do
-        body i
-      done
+    if below_threshold min_per_domain n then run_seq n body
     else begin
       let chunk =
         match chunk with
@@ -134,7 +183,7 @@ let parallel_for t ?chunk ?min_per_domain n body =
         | None -> max 1 (n / (t.size * 4)) (* ~4 tasks per domain *)
       in
       let nchunks = (n + chunk - 1) / chunk in
-      run t nchunks (fun c ->
+      run t ?fail_fast nchunks (fun c ->
           let lo = c * chunk and hi = min n ((c + 1) * chunk) in
           for i = lo to hi - 1 do
             body i
@@ -145,10 +194,10 @@ let parallel_for t ?chunk ?min_per_domain n body =
 let parallel_map t ?min_per_domain f a =
   let n = Array.length a in
   if n = 0 then [||]
-  else if below_threshold min_per_domain n then Array.map f a
   else begin
     let out = Array.make n None in
-    run t n (fun i -> out.(i) <- Some (f a.(i)));
+    let body i = out.(i) <- Some (f a.(i)) in
+    if below_threshold min_per_domain n then run_seq n body else run t n body;
     Array.map Option.get out
   end
 

@@ -12,6 +12,18 @@
     The pool is built only from the stdlib ([Domain], [Atomic],
     [Mutex], [Condition]) — no external dependency. *)
 
+exception Task_failed of {
+  index : int;  (** the task index whose body raised *)
+  exn : exn;  (** the original exception *)
+  backtrace : Printexc.raw_backtrace;
+      (** captured where the task raised, on whichever domain ran it *)
+}
+(** Raised in the caller when any task of a fork-join job fails.  The
+    failing task's identity and backtrace are preserved; the first
+    failure (by completion order) wins.  Worker domains themselves
+    never die from a task exception — they record it and keep serving
+    jobs — so one bad task cannot poison the pool. *)
+
 type t
 
 val create : jobs:int -> t
@@ -26,15 +38,23 @@ val shutdown : t -> unit
 (** Terminate and join the worker domains.  The pool must be idle.
     Idempotent. *)
 
-val run : t -> int -> (int -> unit) -> unit
+val run : t -> ?fail_fast:bool -> int -> (int -> unit) -> unit
 (** [run t n body] executes [body i] exactly once for every
     [0 <= i < n], distributing indices over the pool's domains.  The
     caller participates and returns once all [n] tasks have finished.
-    If any task raises, one such exception is re-raised in the caller
-    (after all tasks have completed or been started). *)
+    If any task raises, the join re-raises {!Task_failed} in the
+    caller, carrying the failing index, original exception, and its
+    backtrace.
 
-val parallel_for : t -> ?chunk:int -> ?min_per_domain:int -> int ->
-  (int -> unit) -> unit
+    With [~fail_fast:true] (default [false]), the first failure
+    cancels the job: task indices not yet started are claimed but
+    skipped, so the join returns quickly instead of paying for the
+    full range.  The pool stays fully usable afterwards.  The
+    sequential fast path ([jobs = 1] or [n = 1]) is inherently
+    fail-fast: the first exception stops the loop. *)
+
+val parallel_for : t -> ?fail_fast:bool -> ?chunk:int ->
+  ?min_per_domain:int -> int -> (int -> unit) -> unit
 (** [parallel_for t ?chunk n body] runs [body i] for [0 <= i < n],
     grouping [chunk] consecutive indices into one task (default: a
     chunk size aiming at ~4 tasks per domain).  Within a chunk, indices
@@ -43,7 +63,11 @@ val parallel_for : t -> ?chunk:int -> ?min_per_domain:int -> int ->
     [min_per_domain] is a sequential-fallback threshold: when
     [n < 2 * min_per_domain] — too little work for even two domains —
     the whole range runs as an ordinary loop on the calling domain,
-    with no pool handoff.  Results are identical either way. *)
+    with no pool handoff.  Results are identical either way.
+
+    Failures re-raise as {!Task_failed}; on the chunked parallel path
+    the reported index is the chunk's task index.  [fail_fast] as in
+    {!run}. *)
 
 val parallel_map : t -> ?min_per_domain:int -> ('a -> 'b) -> 'a array ->
   'b array

@@ -1,0 +1,49 @@
+type policy = {
+  max_attempts : int;
+  base_delay_s : float;
+  multiplier : float;
+  max_delay_s : float;
+  jitter : float;
+}
+
+let default_policy =
+  {
+    max_attempts = 3;
+    base_delay_s = 0.002;
+    multiplier = 4.0;
+    max_delay_s = 0.25;
+    jitter = 0.5;
+  }
+
+(* The delay before retry [attempt] (1-based): exponential growth
+   capped at [max_delay_s], then scaled by a seeded jitter factor in
+   [1 - jitter/2, 1 + jitter/2).  Deterministic in (policy, seed,
+   attempt). *)
+let delay policy ~seed ~attempt =
+  let a = max 1 attempt in
+  let raw = policy.base_delay_s *. (policy.multiplier ** float_of_int (a - 1)) in
+  let capped = Float.min policy.max_delay_s raw in
+  let u = Rng.float01 ~seed ~stream:17 ~index:a in
+  capped *. (1.0 +. (policy.jitter *. (u -. 0.5)))
+
+let delays policy ~seed =
+  List.init (max 0 (policy.max_attempts - 1)) (fun i ->
+      delay policy ~seed ~attempt:(i + 1))
+
+let retry ?(policy = default_policy) ?(sleep = Unix.sleepf) ?on_retry
+    ?(retry_on = Fault.is_transient) ~seed ~label f =
+  (* Mix the label into the seed so concurrent retry loops with the
+     same base seed still jitter independently — but deterministically,
+     since Hashtbl.hash of a string is stable. *)
+  let seed = seed lxor Hashtbl.hash label in
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception e when attempt < policy.max_attempts && retry_on e ->
+      Counters.incr_retries ();
+      let d = delay policy ~seed ~attempt in
+      (match on_retry with Some k -> k ~attempt ~delay_s:d e | None -> ());
+      sleep d;
+      go (attempt + 1)
+  in
+  go 1

@@ -1,0 +1,41 @@
+(** Retry with seeded exponential backoff.
+
+    Delays are a pure function of (policy, seed, attempt) — the jitter
+    comes from {!Rng}, not the wall clock — so a retry schedule is
+    exactly reproducible under a fixed seed, which the determinism
+    tests assert. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first *)
+  base_delay_s : float;  (** delay before the first retry *)
+  multiplier : float;  (** exponential growth per retry *)
+  max_delay_s : float;  (** cap on the un-jittered delay *)
+  jitter : float;  (** width of the jitter band, e.g. 0.5 = ±25% *)
+}
+
+val default_policy : policy
+(** 3 attempts, 2ms base, ×4 growth, 250ms cap, ±25% jitter. *)
+
+val delay : policy -> seed:int -> attempt:int -> float
+(** The (jittered) delay in seconds before retry [attempt] (1-based). *)
+
+val delays : policy -> seed:int -> float list
+(** The full retry-delay schedule, [max_attempts - 1] entries. *)
+
+val retry :
+  ?policy:policy ->
+  ?sleep:(float -> unit) ->
+  ?on_retry:(attempt:int -> delay_s:float -> exn -> unit) ->
+  ?retry_on:(exn -> bool) ->
+  seed:int ->
+  label:string ->
+  (unit -> 'a) ->
+  'a
+(** [retry ~seed ~label f] runs [f], retrying on failures selected by
+    [retry_on] (default {!Fault.is_transient}) up to
+    [policy.max_attempts] total attempts, sleeping the seeded backoff
+    delay between attempts and bumping {!Counters.incr_retries} per
+    retry.  [label] is mixed into the seed so distinct call sites
+    jitter independently.  [sleep] (default [Unix.sleepf]) and
+    [on_retry] exist for tests.  The last failure propagates
+    unchanged. *)

@@ -1,0 +1,39 @@
+type snapshot = {
+  retries : int;
+  timeouts : int;
+  fuel_exhausted : int;
+  task_failures : int;
+}
+
+let mutex = Mutex.create ()
+let retries = ref 0
+let timeouts = ref 0
+let fuel_exhausted = ref 0
+let task_failures = ref 0
+
+let bump cell = Mutex.protect mutex (fun () -> incr cell)
+let incr_retries () = bump retries
+let incr_timeouts () = bump timeouts
+let incr_fuel_exhausted () = bump fuel_exhausted
+let incr_task_failures () = bump task_failures
+
+let snapshot () =
+  Mutex.protect mutex (fun () ->
+      {
+        retries = !retries;
+        timeouts = !timeouts;
+        fuel_exhausted = !fuel_exhausted;
+        task_failures = !task_failures;
+      })
+
+let reset () =
+  Mutex.protect mutex (fun () ->
+      retries := 0;
+      timeouts := 0;
+      fuel_exhausted := 0;
+      task_failures := 0)
+
+let pp ppf s =
+  Format.fprintf ppf
+    "retries %d, timeouts %d, fuel exhausted %d, task failures %d" s.retries
+    s.timeouts s.fuel_exhausted s.task_failures

@@ -1,0 +1,24 @@
+(** Process-wide robustness counters.
+
+    The supervision layer counts every recovery action it takes —
+    retries performed, timeouts hit, fuel exhaustions, tasks that
+    failed permanently — so a run can report how degraded it was and
+    the bench JSON can track the numbers over time.  All counters are
+    mutex-guarded and safe to bump from any domain.  (Cache-recovery
+    counters live with the store itself: {!Cache.Store.recovery}.) *)
+
+type snapshot = {
+  retries : int;         (** backoff retries performed *)
+  timeouts : int;        (** tasks abandoned at their deadline *)
+  fuel_exhausted : int;  (** tasks stopped by the interpreter fuel limit *)
+  task_failures : int;   (** supervised tasks that failed permanently *)
+}
+
+val incr_retries : unit -> unit
+val incr_timeouts : unit -> unit
+val incr_fuel_exhausted : unit -> unit
+val incr_task_failures : unit -> unit
+
+val snapshot : unit -> snapshot
+val reset : unit -> unit
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,45 @@
+(** The typed error taxonomy of the supervision layer.
+
+    Every failure crossing a fault boundary is classified into one of
+    five kinds, which decides the recovery action: [Transient]
+    failures are retried with backoff, everything else fails the task
+    once (and the suite degrades gracefully around it). *)
+
+type kind =
+  | Transient  (** interrupted I/O, injected chaos — worth retrying *)
+  | Hard  (** a genuine bug or unrecoverable error — never retried *)
+  | Fuel_exhausted  (** the interpreter's step budget ran out *)
+  | Timeout  (** the task missed its wall-clock deadline *)
+  | Cache_corrupt  (** a damaged persistent-cache entry surfaced *)
+
+exception Timed_out of { task : string; seconds : float }
+(** Raised by the supervisor when a task exceeds its deadline. *)
+
+exception Cache_corrupt_entry of string
+(** Carries the path of a corrupt cache entry.  The store normally
+    recovers (quarantine + recompute) without raising; this exists for
+    callers that must surface corruption instead. *)
+
+type t = {
+  kind : kind;
+  task : string;  (** supervisor label of the failed task *)
+  message : string;
+  backtrace : string option;
+}
+
+val kind_name : kind -> string
+(** Lower-case hyphenated name, e.g. ["fuel-exhausted"]. *)
+
+val kind_of_exn : exn -> kind
+(** Classify an exception; {!Par.Pool.Task_failed} wrappers are peeled
+    first so the inner exception decides. *)
+
+val is_transient : exn -> bool
+
+val unwrap : exn -> exn
+(** Strip any {!Par.Pool.Task_failed} wrappers. *)
+
+val of_exn : ?backtrace:string -> task:string -> exn -> t
+
+val pp_banner : Format.formatter -> t -> unit
+(** The structured failure banner printed into a degraded suite run. *)

@@ -1,0 +1,26 @@
+(* Splitmix64 mixing, the deterministic randomness source for the
+   whole supervision layer: backoff jitter and fault-injection
+   decisions are pure functions of (seed, stream, index), so a run
+   with a fixed seed makes exactly the same choices every time. *)
+
+let mix64 (z : int64) : int64 =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33))
+      0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33))
+      0xC4CEB9FE1A85EC53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+(* A non-negative int drawn from the (seed, stream, index) cell. *)
+let bits ~seed ~stream ~index =
+  let z =
+    Int64.add
+      (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+      (Int64.add
+         (Int64.mul (Int64.of_int stream) 0xBF58476D1CE4E5B9L)
+         (Int64.of_int index))
+  in
+  Int64.to_int (Int64.shift_right_logical (mix64 z) 2)
+
+(* Uniform float in [0, 1). *)
+let float01 ~seed ~stream ~index =
+  float_of_int (bits ~seed ~stream ~index mod 1_000_000) /. 1_000_000.

@@ -1,0 +1,12 @@
+(** Deterministic randomness for the supervision layer.
+
+    Every stochastic choice (backoff jitter, fault-injection firing)
+    is a pure function of a [(seed, stream, index)] cell, so runs with
+    the same seed make identical choices — the property the
+    [@chaos-smoke] gate and the retry-determinism tests rely on. *)
+
+val bits : seed:int -> stream:int -> index:int -> int
+(** A non-negative pseudo-random int for the given cell (splitmix64). *)
+
+val float01 : seed:int -> stream:int -> index:int -> float
+(** A uniform float in [0, 1) for the given cell. *)

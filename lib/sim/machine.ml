@@ -17,6 +17,7 @@ type t = {
 }
 
 exception Fault of string
+exception Out_of_fuel of string
 
 type stats = {
   instr_count : int;
@@ -33,6 +34,38 @@ let fault m fmt =
            (Printf.sprintf "%s (at %s+%d, %d instructions executed)" msg
               m.prog.procs.(m.proc).name m.pc m.instrs)))
     fmt
+
+(* Fuel exhaustion is its own exception, not a [Fault]: a program that
+   runs past its step budget is a resource-limit event the supervision
+   layer must classify ([Fuel_exhausted]) and report distinctly from a
+   genuine runtime error.  Both interpreters raise it with identical
+   message text — the differential oracle compares fault messages
+   byte-for-byte. *)
+let out_of_fuel m =
+  raise
+    (Out_of_fuel
+       (Printf.sprintf
+          "out of fuel: instruction limit exceeded (at %s+%d, %d instructions executed)"
+          m.prog.procs.(m.proc).name m.pc m.instrs))
+
+(* The default fuel budget for a run that does not pass [?max_instrs]:
+   high enough that no real workload comes near it, low enough that a
+   runaway generated program fails in bounded time instead of hanging
+   a domain forever.  Overridable per-process via [BALLARUS_FUEL] or
+   [set_default_fuel]. *)
+let builtin_fuel = 2_000_000_000
+
+let default_fuel_limit =
+  ref
+    (match Sys.getenv_opt "BALLARUS_FUEL" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> builtin_fuel)
+    | None -> builtin_fuel)
+
+let set_default_fuel n = default_fuel_limit := max 1 n
+let default_fuel () = !default_fuel_limit
 
 let max_call_depth = 65536
 
@@ -139,8 +172,11 @@ let noindirect _ = ()
    [Decode.op] — no nested operand or condition matches survive to run
    time. *)
 
-let run_decoded ?(max_instrs = 2_000_000_000) ?(on_branch = nobranch)
+let run_decoded ?max_instrs ?(on_branch = nobranch)
     ?(on_indirect = noindirect) (d : Decode.t) input =
+  let max_instrs =
+    match max_instrs with Some n -> n | None -> !default_fuel_limit
+  in
   let prog = d.Decode.prog in
   let m = create ~scratch:true prog input in
   let regs = m.iregs and fregs = m.fregs in
@@ -177,7 +213,7 @@ let run_decoded ?(max_instrs = 2_000_000_000) ?(on_branch = nobranch)
     end;
     if instrs >= max_instrs then begin
       sync pc instrs;
-      fault m "instruction limit exceeded"
+      out_of_fuel m
     end;
     let instrs = instrs + 1 in
     let x = Array.unsafe_get c.Decode.xs pc in
@@ -531,8 +567,11 @@ let run ?max_instrs ?on_branch ?on_indirect prog input =
    step.  [run] above must be observationally identical (stats, hook
    sequences, fault messages). *)
 
-let run_legacy ?(max_instrs = 2_000_000_000) ?(on_branch = nobranch)
+let run_legacy ?max_instrs ?(on_branch = nobranch)
     ?(on_indirect = noindirect) prog input =
+  let max_instrs =
+    match max_instrs with Some n -> n | None -> !default_fuel_limit
+  in
   let m = create prog input in
   let callees = resolve_callees prog in
   let regs = m.iregs and fregs = m.fregs in
@@ -578,7 +617,7 @@ let run_legacy ?(max_instrs = 2_000_000_000) ?(on_branch = nobranch)
   in
   while !running do
     if m.pc >= Array.length !body then fault m "fell off the end of procedure";
-    if m.instrs >= max_instrs then fault m "instruction limit exceeded";
+    if m.instrs >= max_instrs then out_of_fuel m;
     m.instrs <- m.instrs + 1;
     let ins = Array.unsafe_get !body m.pc in
     match ins with

@@ -30,8 +30,23 @@ type t = {
 }
 
 exception Fault of string
-(** Runtime error (bad address, division by zero, stack overflow,
-    instruction limit, …) with location context. *)
+(** Runtime error (bad address, division by zero, stack overflow, …)
+    with location context. *)
+
+exception Out_of_fuel of string
+(** The run exceeded its instruction (fuel) budget.  Distinct from
+    {!Fault} so the supervision layer can classify runaway programs as
+    [Fuel_exhausted] rather than hard errors; carries the same
+    location context, with identical text from both interpreters. *)
+
+val set_default_fuel : int -> unit
+(** Set the process-wide fuel budget used when a run does not pass
+    [?max_instrs] (clamped to at least 1).  Initialised from
+    [BALLARUS_FUEL] when set, else 2_000_000_000. *)
+
+val default_fuel : unit -> int
+(** The fuel budget currently in force for runs without
+    [?max_instrs]. *)
 
 type stats = {
   instr_count : int;
@@ -55,8 +70,10 @@ val run :
     executing the same program many times should decode once
     themselves.
 
-    @param max_instrs fault after this many instructions
-    (default [2_000_000_000]). *)
+    @param max_instrs raise {!Out_of_fuel} after this many
+    instructions (default: {!default_fuel}).  A program that halts in
+    exactly [N] instructions succeeds with [~max_instrs:N] and runs
+    out of fuel with [~max_instrs:(N - 1)]. *)
 
 val run_decoded :
   ?max_instrs:int ->

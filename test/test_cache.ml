@@ -72,6 +72,7 @@ let corrupt path garbage =
 
 let test_corrupt_entry_recomputed () =
   with_temp_store (fun dir ->
+      Cache.Store.reset_recovery ();
       let calls = ref 0 in
       let compute () =
         incr calls;
@@ -88,15 +89,87 @@ let test_corrupt_entry_recomputed () =
       let v = Cache.Store.memo ~version:"t/1" ~key:0 compute in
       Alcotest.(check string) "recomputed value" "payload" v;
       checki "recompute happened" 2 !calls;
+      checki "quarantine counted" 1
+        (Cache.Store.recovery ()).corrupt_quarantined;
       (* truncated entry *)
       corrupt path "ballarus-c";
       let v = Cache.Store.memo ~version:"t/1" ~key:0 compute in
       Alcotest.(check string) "recomputed after truncation" "payload" v;
       checki "recompute happened again" 3 !calls;
+      checki "second quarantine counted" 2
+        (Cache.Store.recovery ()).corrupt_quarantined;
       (* the rewrite must have produced a readable entry again *)
       let v = Cache.Store.memo ~version:"t/1" ~key:0 compute in
       Alcotest.(check string) "hit after rewrite" "payload" v;
-      checki "no further compute" 3 !calls)
+      checki "no further compute" 3 !calls;
+      checki "no further quarantine" 2
+        (Cache.Store.recovery ()).corrupt_quarantined)
+
+let test_quarantine_deletes_bad_entry () =
+  (* a corrupt entry must be removed from disk at detection time, so
+     it cannot re-trip a later run that never recomputes this key *)
+  with_temp_store (fun dir ->
+      Cache.Store.reset_recovery ();
+      let _ = Cache.Store.memo ~version:"t/1" ~key:1 (fun () -> "x") in
+      let path =
+        match entry_files dir with [ p ] -> p | _ -> Alcotest.fail "one entry"
+      in
+      corrupt path "garbage";
+      let gone_during_recompute = ref false in
+      let v =
+        Cache.Store.memo ~version:"t/1" ~key:1 (fun () ->
+            (* observe the disk mid-recompute: the bad entry must
+               already have been deleted *)
+            gone_during_recompute := not (Sys.file_exists path);
+            "y")
+      in
+      Alcotest.(check string) "recomputed" "y" v;
+      checkb "bad entry deleted before recompute" true !gone_during_recompute;
+      checki "one quarantine" 1 (Cache.Store.recovery ()).corrupt_quarantined)
+
+let test_injected_corruption_recovered () =
+  (* the chaos hook corrupts a real on-disk entry; the store must
+     detect, quarantine and recompute, and the counters must agree
+     with the injector's *)
+  with_temp_store (fun _dir ->
+      Cache.Store.reset_recovery ();
+      Robust.Inject.reset ();
+      let calls = ref 0 in
+      let compute () =
+        incr calls;
+        "v"
+      in
+      let _ = Cache.Store.memo ~version:"t/1" ~key:2 compute in
+      Robust.Inject.force Robust.Inject.Cache_read 1;
+      let v = Cache.Store.memo ~version:"t/1" ~key:2 compute in
+      Alcotest.(check string) "recovered value" "v" v;
+      checki "recomputed" 2 !calls;
+      checki "injector fired" 1 (Robust.Inject.fired Robust.Inject.Cache_read);
+      checki "quarantined exactly the injected fault" 1
+        (Cache.Store.recovery ()).corrupt_quarantined;
+      Robust.Inject.reset ())
+
+let test_injected_write_failure_retried () =
+  (* a failed write is retried with backoff; one injected failure costs
+     a retry, not the entry *)
+  with_temp_store (fun dir ->
+      Cache.Store.reset_recovery ();
+      Robust.Inject.reset ();
+      Robust.Inject.force Robust.Inject.Cache_write 1;
+      let _ = Cache.Store.memo ~version:"t/1" ~key:3 (fun () -> "w") in
+      checki "write retried once" 1 (Cache.Store.recovery ()).write_retries;
+      checki "no write abandoned" 0 (Cache.Store.recovery ()).write_failures;
+      checki "entry still landed" 1 (List.length (entry_files dir));
+      (* and it reads back *)
+      let calls = ref 0 in
+      let v =
+        Cache.Store.memo ~version:"t/1" ~key:3 (fun () ->
+            incr calls;
+            "w")
+      in
+      Alcotest.(check string) "readable" "w" v;
+      checki "served from disk" 0 !calls;
+      Robust.Inject.reset ())
 
 let test_clear_empties_store () =
   with_temp_store (fun dir ->
@@ -143,6 +216,12 @@ let () =
             test_disabled_bypasses;
           Alcotest.test_case "corrupt entries are recomputed" `Quick
             test_corrupt_entry_recomputed;
+          Alcotest.test_case "quarantine deletes bad entry" `Quick
+            test_quarantine_deletes_bad_entry;
+          Alcotest.test_case "injected corruption recovered" `Quick
+            test_injected_corruption_recovered;
+          Alcotest.test_case "injected write failure retried" `Quick
+            test_injected_write_failure_retried;
           Alcotest.test_case "clear empties the store" `Quick
             test_clear_empties_store;
           Alcotest.test_case "profile survives the store" `Quick

@@ -94,19 +94,66 @@ let test_reduce_merges_in_chunk_order () =
 exception Boom
 
 let test_exception_propagates () =
+  (* a task exception re-raises in the caller as Task_failed carrying
+     the failing task's identity and the original exception *)
   List.iter
     (fun jobs ->
       with_pool jobs (fun p ->
           match Par.Pool.run p 64 (fun i -> if i = 13 then raise Boom) with
           | () -> Alcotest.fail "expected the task exception to surface"
-          | exception Boom -> ()))
+          | exception Par.Pool.Task_failed { index; exn = Boom; _ } ->
+            checki "failing task identified" 13 index
+          | exception _ -> Alcotest.fail "expected Task_failed{exn=Boom}"))
     widths;
-  (* the pool survives a failed job *)
+  (* the pool survives a failed job: the worker domains are unaffected
+     and serve the next job normally *)
   with_pool 4 (fun p ->
-      (try Par.Pool.run p 8 (fun _ -> raise Boom) with Boom -> ());
+      (try Par.Pool.run p 8 (fun _ -> raise Boom)
+       with Par.Pool.Task_failed _ -> ());
       let sum = Atomic.make 0 in
       Par.Pool.run p 8 (fun i -> ignore (Atomic.fetch_and_add sum i));
       checki "pool still works" 28 (Atomic.get sum))
+
+let test_exception_backtrace () =
+  with_pool 4 (fun p ->
+      match Par.Pool.run p 16 (fun i -> if i = 5 then raise Boom) with
+      | () -> Alcotest.fail "expected Task_failed"
+      | exception Par.Pool.Task_failed { index; exn; backtrace } ->
+        checki "index" 5 index;
+        checkb "original exception" true (exn = Boom);
+        (* the backtrace is the raw capture from the raising domain;
+           just assert it converts without blowing up *)
+        ignore (Printexc.raw_backtrace_to_string backtrace : string))
+
+let test_fail_fast_cancels () =
+  (* with fail_fast, tasks not yet started when the failure lands are
+     skipped; without it, every task runs *)
+  with_pool 4 (fun p ->
+      let ran = Atomic.make 0 in
+      (match
+         Par.Pool.run p ~fail_fast:true 10_000 (fun i ->
+             ignore (Atomic.fetch_and_add ran 1);
+             if i = 0 then raise Boom)
+       with
+      | () -> Alcotest.fail "expected Task_failed"
+      | exception Par.Pool.Task_failed { exn = Boom; _ } -> ()
+      | exception _ -> Alcotest.fail "expected Task_failed{exn=Boom}");
+      checkb "cancellation skipped most tasks" true (Atomic.get ran < 10_000);
+      (* the pool is immediately reusable after a cancelled job *)
+      let sum = Atomic.make 0 in
+      Par.Pool.run p 8 (fun i -> ignore (Atomic.fetch_and_add sum i));
+      checki "pool reusable after fail-fast" 28 (Atomic.get sum));
+  (* the sequential path is inherently fail-fast *)
+  with_pool 1 (fun p ->
+      let ran = ref 0 in
+      (match
+         Par.Pool.run p 100 (fun i ->
+             incr ran;
+             if i = 3 then raise Boom)
+       with
+      | () -> Alcotest.fail "expected Task_failed"
+      | exception Par.Pool.Task_failed { index; _ } -> checki "index" 3 index);
+      checki "stopped at the failure" 4 !ran)
 
 let test_nested_data_parallel_sections () =
   (* back-to-back jobs on one pool reuse the same workers *)
@@ -197,6 +244,9 @@ let () =
           Alcotest.test_case "reduce chunk order" `Quick
             test_reduce_merges_in_chunk_order;
           Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+          Alcotest.test_case "exception backtrace" `Quick
+            test_exception_backtrace;
+          Alcotest.test_case "fail fast" `Quick test_fail_fast_cancels;
           Alcotest.test_case "job reuse" `Quick
             test_nested_data_parallel_sections;
           Alcotest.test_case "fewer tasks than jobs" `Quick

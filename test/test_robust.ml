@@ -1,0 +1,259 @@
+(* Tests for the supervision layer: the fault taxonomy, seeded backoff
+   determinism, supervised task outcomes, wall-clock timeouts,
+   deterministic fault injection, and graceful suite degradation when
+   a runaway program exhausts its fuel. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+exception Boom
+
+let test_taxonomy () =
+  let open Robust.Fault in
+  checkb "chaos is transient" true
+    (kind_of_exn (Robust.Inject.Chaos "x") = Transient);
+  checkb "out of fuel" true
+    (kind_of_exn (Sim.Machine.Out_of_fuel "m") = Fuel_exhausted);
+  checkb "timeout" true
+    (kind_of_exn (Timed_out { task = "t"; seconds = 1.0 }) = Timeout);
+  checkb "cache corrupt" true
+    (kind_of_exn (Cache_corrupt_entry "p") = Cache_corrupt);
+  checkb "EINTR is transient" true
+    (kind_of_exn (Unix.Unix_error (Unix.EINTR, "read", "")) = Transient);
+  checkb "unknown is hard" true (kind_of_exn Boom = Hard);
+  (* pool wrappers are peeled: the inner exception decides *)
+  let bt = Printexc.get_raw_backtrace () in
+  let wrapped =
+    Par.Pool.Task_failed
+      { index = 3; exn = Sim.Machine.Out_of_fuel "m"; backtrace = bt }
+  in
+  checkb "wrapper peeled" true (kind_of_exn wrapped = Fuel_exhausted);
+  checkb "unwrap returns inner" true
+    (unwrap wrapped = Sim.Machine.Out_of_fuel "m");
+  checkb "transient predicate" true (is_transient (Robust.Inject.Chaos "x"));
+  checkb "hard not transient" false (is_transient Boom)
+
+let test_backoff_determinism () =
+  let p = Robust.Backoff.default_policy in
+  let d1 = Robust.Backoff.delays p ~seed:42 in
+  let d2 = Robust.Backoff.delays p ~seed:42 in
+  let d3 = Robust.Backoff.delays p ~seed:43 in
+  checki "schedule length" (p.max_attempts - 1) (List.length d1);
+  checkb "same seed, same schedule" true (d1 = d2);
+  checkb "different seed, different schedule" true (d1 <> d3);
+  List.iter
+    (fun d -> checkb "delay within cap + jitter" true (d > 0. && d <= p.max_delay_s *. 1.5))
+    d1;
+  (* retry sleeps exactly the seeded schedule, reproducibly *)
+  let run_spy () =
+    let slept = ref [] in
+    let attempts = ref 0 in
+    (try
+       Robust.Backoff.retry
+         ~sleep:(fun d -> slept := d :: !slept)
+         ~retry_on:(fun _ -> true)
+         ~seed:42 ~label:"spy"
+         (fun () ->
+           incr attempts;
+           raise Boom)
+     with Boom -> ());
+    (!attempts, List.rev !slept)
+  in
+  let a1, s1 = run_spy () in
+  let a2, s2 = run_spy () in
+  checki "all attempts used" p.max_attempts a1;
+  checki "slept between attempts" (p.max_attempts - 1) (List.length s1);
+  checkb "sleep schedule reproducible" true (a1 = a2 && s1 = s2)
+
+let test_retry_only_transient () =
+  (* default retry_on: hard failures are never retried *)
+  let attempts = ref 0 in
+  (try
+     Robust.Backoff.retry
+       ~sleep:(fun _ -> ())
+       ~seed:1 ~label:"hard"
+       (fun () ->
+         incr attempts;
+         raise Boom)
+   with Boom -> ());
+  checki "hard fails once" 1 !attempts;
+  let attempts = ref 0 in
+  let v =
+    Robust.Backoff.retry
+      ~sleep:(fun _ -> ())
+      ~seed:1 ~label:"flaky"
+      (fun () ->
+        incr attempts;
+        if !attempts < 3 then raise (Robust.Inject.Chaos "flake") else 99)
+  in
+  checki "transient retried to success" 3 !attempts;
+  checki "value through" 99 v
+
+let test_supervise_outcomes () =
+  let ok = Robust.Supervise.run ~label:"ok" (fun () -> 7) in
+  checkb "completed" true (ok.status = Robust.Supervise.Completed);
+  checkb "value" true (ok.value = Some 7);
+  checki "one attempt" 1 ok.attempts;
+  let n = ref 0 in
+  let rec_ =
+    Robust.Supervise.run
+      ~sleep:(fun _ -> ())
+      ~label:"flaky"
+      (fun () ->
+        incr n;
+        if !n < 3 then raise (Robust.Inject.Chaos "flake") else 42)
+  in
+  checkb "recovered after 2 retries" true
+    (rec_.status = Robust.Supervise.Recovered 2);
+  checkb "recovered value" true (rec_.value = Some 42);
+  checki "three attempts" 3 rec_.attempts;
+  let hard =
+    Robust.Supervise.run ~sleep:(fun _ -> ()) ~label:"hard" (fun () -> raise Boom)
+  in
+  checki "hard fails immediately" 1 hard.attempts;
+  (match hard.status with
+  | Robust.Supervise.Failed f ->
+    checkb "classified hard" true (f.kind = Robust.Fault.Hard);
+    checkb "label kept" true (String.equal f.task "hard")
+  | _ -> Alcotest.fail "expected Failed")
+
+let test_timeout () =
+  (* the body sleeps well past the deadline; the supervisor must give
+     up at the deadline, not wait for the body (which, orphaned,
+     finishes on its own) *)
+  let t0 = Unix.gettimeofday () in
+  let o =
+    Robust.Supervise.run ~timeout:0.05 ~label:"slow" (fun () ->
+        Unix.sleepf 1.5)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match o.status with
+  | Robust.Supervise.Failed f ->
+    checkb "classified timeout" true (f.kind = Robust.Fault.Timeout)
+  | _ -> Alcotest.fail "expected a timeout failure");
+  checki "not retried" 1 o.attempts;
+  checkb "returned near the deadline" true (elapsed < 1.0);
+  (* a fast body under the same deadline completes normally *)
+  let o = Robust.Supervise.run ~timeout:5.0 ~label:"fast" (fun () -> 11) in
+  checkb "fast body fine" true (o.value = Some 11)
+
+let test_inject_determinism () =
+  Robust.Inject.reset ();
+  Robust.Inject.set_seed (Some 7);
+  let pattern () =
+    List.init 400 (fun _ ->
+        try
+          Robust.Inject.raise_in_task ~label:"x";
+          false
+        with Robust.Inject.Chaos _ -> true)
+  in
+  let a = pattern () in
+  Robust.Inject.reset ();
+  let b = pattern () in
+  checkb "same seed, same fault schedule" true (a = b);
+  checkb "seeded injection fires" true (List.exists Fun.id a);
+  checki "fired count matches pattern" (List.length (List.filter Fun.id a))
+    (Robust.Inject.fired Robust.Inject.Task);
+  (* force guarantees the next n consultations fire, regardless of
+     seed *)
+  Robust.Inject.set_seed None;
+  Robust.Inject.reset ();
+  checkb "disarmed by default" true
+    (List.for_all not (List.init 50 (fun _ ->
+         try Robust.Inject.raise_in_task ~label:"y"; false
+         with Robust.Inject.Chaos _ -> true)));
+  Robust.Inject.force Robust.Inject.Task 2;
+  let fired =
+    List.init 5 (fun _ ->
+        try Robust.Inject.raise_in_task ~label:"z"; false
+        with Robust.Inject.Chaos _ -> true)
+  in
+  checkb "exactly the forced two fire" true
+    (fired = [ true; true; false; false; false ]);
+  checki "fired counter" 2 (Robust.Inject.fired Robust.Inject.Task);
+  Robust.Inject.reset ()
+
+let test_fuel_degradation () =
+  (* the acceptance scenario: a deliberately non-terminating MiniC
+     program fails with Fuel_exhausted — it does not hang — and the
+     rest of the suite completes normally *)
+  let infinite = Minic.Frontend.compile "int main() { while (1) { } return 0; }" in
+  let empty = Sim.Dataset.make ~name:"empty" [||] in
+  let bad =
+    {
+      Experiments.Driver.id = "runaway";
+      title = "Runaway program";
+      run =
+        (fun ppf ->
+          ignore (Sim.Machine.run ~max_instrs:200_000 infinite empty);
+          Format.fprintf ppf "unreachable@.");
+      quick_run = None;
+    }
+  in
+  let good =
+    {
+      Experiments.Driver.id = "fine";
+      title = "A well-behaved experiment";
+      run = (fun ppf -> Format.fprintf ppf "fine-table-output@.");
+      quick_run = None;
+    }
+  in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let s = Experiments.Driver.run_list ~warm:false [ bad; good ] ppf in
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  checki "one failed" 1 s.failed;
+  checki "one passed" 1 s.passed;
+  (match List.assoc "runaway" s.results with
+  | Experiments.Driver.Failed f ->
+    checkb "classified fuel-exhausted" true
+      (f.kind = Robust.Fault.Fuel_exhausted)
+  | _ -> Alcotest.fail "expected the runaway experiment to fail");
+  checkb "failure banner printed" true (contains out "FAILED");
+  checkb "suite continued past the failure" true
+    (contains out "fine-table-output");
+  checki "degraded exit code" 3 (Experiments.Driver.exit_code s);
+  (* summary report counts both *)
+  let sbuf = Buffer.create 128 in
+  let sppf = Format.formatter_of_buffer sbuf in
+  Experiments.Driver.pp_summary sppf s;
+  Format.pp_print_flush sppf ();
+  checkb "summary mentions the failure" true
+    (contains (Buffer.contents sbuf) "runaway")
+
+let () =
+  Alcotest.run "robust"
+    [
+      ( "fault",
+        [
+          Alcotest.test_case "taxonomy" `Quick test_taxonomy;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "seeded determinism" `Quick
+            test_backoff_determinism;
+          Alcotest.test_case "only transient retried" `Quick
+            test_retry_only_transient;
+        ] );
+      ( "supervise",
+        [
+          Alcotest.test_case "outcomes" `Quick test_supervise_outcomes;
+          Alcotest.test_case "timeout" `Quick test_timeout;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "determinism and force" `Quick
+            test_inject_determinism;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "fuel exhaustion degrades gracefully" `Quick
+            test_fuel_degradation;
+        ] );
+    ]

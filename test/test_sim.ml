@@ -36,11 +36,44 @@ let test_instr_limit () =
   try
     ignore (Sim.Machine.run ~max_instrs:10_000 prog (ds ()));
     Alcotest.fail "expected instruction-limit fault"
-  with Sim.Machine.Fault msg ->
+  with Sim.Machine.Out_of_fuel msg ->
     checkb "mentions limit" true
       (String.length msg > 0
       && String.length msg >= String.length "instruction limit"
       )
+
+let test_fuel_exactness () =
+  (* a program that halts in exactly N instructions must succeed with
+     fuel N and run out with fuel N - 1, on both interpreters *)
+  let prog = compile loopy_src in
+  let n = (Sim.Machine.run prog (ds ())).instr_count in
+  let exact = Sim.Machine.run ~max_instrs:n prog (ds ()) in
+  checki "limit N succeeds" n exact.instr_count;
+  (match Sim.Machine.run ~max_instrs:(n - 1) prog (ds ()) with
+  | _ -> Alcotest.fail "limit N-1 must run out of fuel"
+  | exception Sim.Machine.Out_of_fuel _ -> ());
+  let legacy = Sim.Machine.run_legacy ~max_instrs:n prog (ds ()) in
+  checki "legacy limit N succeeds" n legacy.instr_count;
+  (* both interpreters report fuel exhaustion with identical text *)
+  let msg_of f = try ignore (f ()); None with Sim.Machine.Out_of_fuel m -> Some m in
+  let dm = msg_of (fun () -> Sim.Machine.run ~max_instrs:(n - 1) prog (ds ())) in
+  let lm =
+    msg_of (fun () -> Sim.Machine.run_legacy ~max_instrs:(n - 1) prog (ds ()))
+  in
+  checkb "messages present" true (dm <> None && lm <> None);
+  checkb "decoded = legacy message" true (dm = lm)
+
+let test_default_fuel () =
+  let saved = Sim.Machine.default_fuel () in
+  Fun.protect
+    ~finally:(fun () -> Sim.Machine.set_default_fuel saved)
+    (fun () ->
+      Sim.Machine.set_default_fuel 5_000;
+      checki "accessor reflects" 5_000 (Sim.Machine.default_fuel ());
+      let prog = compile "int main() { while (1) { } return 0; }" in
+      match Sim.Machine.run prog (ds ()) with
+      | _ -> Alcotest.fail "expected the default fuel limit to trip"
+      | exception Sim.Machine.Out_of_fuel _ -> ())
 
 let test_dataset_of_seed () =
   let d1 = Sim.Dataset.of_seed ~name:"a" ~size:64 ~seed:7 in
@@ -351,6 +384,8 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_stats_deterministic;
           Alcotest.test_case "instr limit" `Quick test_instr_limit;
+          Alcotest.test_case "fuel exactness" `Quick test_fuel_exactness;
+          Alcotest.test_case "default fuel" `Quick test_default_fuel;
           Alcotest.test_case "dataset of_seed" `Quick test_dataset_of_seed;
           Alcotest.test_case "reads" `Quick test_reads;
         ] );
