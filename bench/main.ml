@@ -9,20 +9,24 @@
      dune exec bench/main.exe table2 graph4
    Special arguments: "all" (default), "quick" (cap the subset
    experiment), "timings" (parallel stage timings + the Bechamel
-   section), "json" (emit the machine-readable BENCH_3.json perf
+   section), "json" (emit the machine-readable BENCH_4.json perf
    trajectory: per-stage -j scaling, cold/warm disk-cache wall times,
+   per-stage span-duration percentiles, cache/pool metrics, and
    robustness counters), "compare A.json B.json" (diff two bench JSON
-   files of any schema version 1-3, exit nonzero on regression),
+   files of any schema version 1-4, exit nonzero on regression),
    "perf-smoke" (tiny workload sanity run, exit nonzero if the
    parallel path loses badly), "chaos-smoke [SEED]" (run the quick
    suite twice — clean, then under seeded fault injection — and fail
    unless the tables are byte-identical and every injected cache
-   fault was recovered).
+   fault was recovered), "obs-smoke" (run the quick suite untraced
+   and traced, require byte-identical tables, and validate the
+   emitted Chrome trace JSON covers all four pipeline stages).
 
    "-j N" anywhere on the command line sets the domain count for the
    parallel sections (default: BALLARUS_JOBS or the machine's
    recommended domain count; "-j 1" is the sequential path).
-   "--no-cache" disables the persistent result cache. *)
+   "--no-cache" disables the persistent result cache; "--trace FILE"
+   records spans and writes a Chrome trace at exit. *)
 
 let null_formatter =
   Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
@@ -135,16 +139,27 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* The four stage spans whose duration percentiles go into the JSON. *)
+let stage_span_names =
+  [ "stage.load_all"; "stage.miss_matrix"; "stage.subset"; "stage.traces" ]
+
 let emit_json jn =
+  Obs.Metrics.reset ();
   Robust.Counters.reset ();
   Cache.Store.reset_recovery ();
+  (* record spans during the measured runs so the JSON can report
+     per-stage duration percentiles; the events stay in memory unless
+     --trace also armed an export file *)
+  let was_recording = Obs.enabled () in
+  Obs.enable ();
   let results = measure_stages jn in
   let cold, warm = measure_cold_warm jn in
+  if not was_recording then Obs.disable ();
   let rc = Robust.Counters.snapshot () in
   let sr = Cache.Store.recovery () in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"ballarus-bench/3\",\n";
+  Buffer.add_string buf "  \"schema\": \"ballarus-bench/4\",\n";
   Buffer.add_string buf "  \"generated_by\": \"bench/main.exe json\",\n";
   Buffer.add_string buf
     (match Par.Pool.requested_jobs () with
@@ -171,6 +186,42 @@ let emit_json jn =
   Buffer.add_string buf
     (Printf.sprintf "  \"warm_speedup\": %.3f,\n"
        (if warm > 0. then cold /. warm else Float.nan));
+  (* schema 4: per-stage span-duration percentiles over every time the
+     stage ran during the measured passes (j1, jn, cold, warm) *)
+  let span_stats =
+    List.filter_map
+      (fun name ->
+        match Obs.Metrics.find_histogram ("span." ^ name) with
+        | Some s when s.Obs.Metrics.count > 0 -> Some (name, s)
+        | _ -> None)
+      stage_span_names
+  in
+  Buffer.add_string buf "  \"spans\": [\n";
+  List.iteri
+    (fun i (name, (s : Obs.Metrics.hstats)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"count\": %d, \"p50_s\": %.6f, \
+            \"p95_s\": %.6f, \"max_s\": %.6f}%s\n"
+           (json_escape name) s.count s.p50 s.p95 s.max
+           (if i < List.length span_stats - 1 then "," else "")))
+    span_stats;
+  Buffer.add_string buf "  ],\n";
+  (* schema 4: cache traffic and pool job/task counts over the same
+     measured passes *)
+  Buffer.add_string buf "  \"metrics\": {\n";
+  let m name = Obs.Metrics.value (Obs.Metrics.counter name) in
+  let metric_names =
+    [ "cache.hit"; "cache.miss"; "cache.corrupt"; "cache.write";
+      "pool.jobs"; "pool.tasks" ]
+  in
+  List.iteri
+    (fun i name ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %d%s\n" name (m name)
+           (if i < List.length metric_names - 1 then "," else "")))
+    metric_names;
+  Buffer.add_string buf "  },\n";
   (* schema 3: how much fault recovery the measured run needed — on a
      healthy host every count is 0 *)
   Buffer.add_string buf "  \"robustness\": {\n";
@@ -186,15 +237,17 @@ let emit_json jn =
   Buffer.add_string buf
     (Printf.sprintf "    \"cache_write_retries\": %d,\n" sr.write_retries);
   Buffer.add_string buf
-    (Printf.sprintf "    \"cache_write_failures\": %d\n" sr.write_failures);
+    (Printf.sprintf "    \"cache_write_failures\": %d,\n" sr.write_failures);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"cache_tmp_cleaned\": %d\n" sr.tmp_cleaned);
   Buffer.add_string buf "  }\n";
   Buffer.add_string buf "}\n";
   let out = Buffer.contents buf in
-  let oc = open_out "BENCH_3.json" in
+  let oc = open_out "BENCH_4.json" in
   output_string oc out;
   close_out oc;
   print_string out;
-  Printf.printf "wrote BENCH_3.json\n%!"
+  Printf.printf "wrote BENCH_4.json\n%!"
 
 (* ---- minimal JSON reader for "compare" ----
 
@@ -356,6 +409,10 @@ type bench_file = {
   warm : float option;
   robustness : (string * float) list;
       (* schema 3 counters; empty for older files *)
+  metrics : (string * float) list;
+      (* schema 4 cache/pool counters; empty for older files *)
+  spans : (string * float * float) list;
+      (* schema 4 per-stage (name, p50_s, p95_s); empty for older files *)
 }
 
 let read_bench_file path =
@@ -381,12 +438,27 @@ let read_bench_file path =
         items
     | _ -> []
   in
-  let robustness =
-    match Json.member "robustness" j with
+  let numeric_object field =
+    match Json.member field j with
     | Some (Json.Obj kvs) ->
       List.filter_map
         (fun (k, v) -> match v with Json.Num f -> Some (k, f) | _ -> None)
         kvs
+    | _ -> []
+  in
+  let spans =
+    match Json.member "spans" j with
+    | Some (Json.Arr items) ->
+      List.filter_map
+        (fun e ->
+          match
+            ( Json.member "name" e,
+              Json.num_field "p50_s" e,
+              Json.num_field "p95_s" e )
+          with
+          | Some (Json.Str name), Some p50, Some p95 -> Some (name, p50, p95)
+          | _ -> None)
+        items
     | _ -> []
   in
   {
@@ -395,7 +467,9 @@ let read_bench_file path =
     experiments;
     cold = Json.num_field "cold_wall_s" j;
     warm = Json.num_field "warm_wall_s" j;
-    robustness;
+    robustness = numeric_object "robustness";
+    metrics = numeric_object "metrics";
+    spans;
   }
 
 (* A stage regresses when it gets >10% slower AND loses more than 50ms
@@ -437,22 +511,46 @@ let compare_benches old_path new_path =
   | _ -> ());
   if regressed ~old_s:told ~new_s:tnew then
     regressions := "TOTAL(j1)" :: !regressions;
-  (* Robustness counters (schema 3) are informational: recovery that
-     happened during the measured run, not a perf signal — so they are
-     printed, never gated on. *)
-  if b.robustness <> [] || a.robustness <> [] then begin
-    Printf.printf "\nrobustness counters:\n";
+  (* Robustness counters (schema 3) and cache/pool metrics (schema 4)
+     are informational: what happened during the measured run, not a
+     perf signal — so they are printed, never gated on. *)
+  let print_counters title av bv =
+    if av <> [] || bv <> [] then begin
+      Printf.printf "\n%s:\n" title;
+      let keys =
+        List.sort_uniq String.compare (List.map fst av @ List.map fst bv)
+      in
+      List.iter
+        (fun k ->
+          let show = function
+            | Some f -> Printf.sprintf "%.0f" f
+            | None -> "-"
+          in
+          Printf.printf "%-28s %6s -> %6s\n" k
+            (show (List.assoc_opt k av))
+            (show (List.assoc_opt k bv)))
+        keys
+    end
+  in
+  print_counters "robustness counters" a.robustness b.robustness;
+  print_counters "cache/pool metrics" a.metrics b.metrics;
+  (* Per-stage span percentiles (schema 4): informational trend line. *)
+  if a.spans <> [] || b.spans <> [] then begin
+    Printf.printf "\nstage span percentiles (p50/p95 s):\n";
     let keys =
       List.sort_uniq String.compare
-        (List.map fst a.robustness @ List.map fst b.robustness)
+        (List.map (fun (n, _, _) -> n) a.spans
+        @ List.map (fun (n, _, _) -> n) b.spans)
     in
     List.iter
       (fun k ->
-        let get r = List.assoc_opt k r in
-        let show = function Some f -> Printf.sprintf "%.0f" f | None -> "-" in
-        Printf.printf "%-28s %6s -> %6s\n" k
-          (show (get a.robustness))
-          (show (get b.robustness)))
+        let get l = List.find_opt (fun (n, _, _) -> n = k) l in
+        let show = function
+          | Some (_, p50, p95) -> Printf.sprintf "%.3f/%.3f" p50 p95
+          | None -> "-"
+        in
+        Printf.printf "%-28s %15s -> %15s\n" k (show (get a.spans))
+          (show (get b.spans)))
       keys
   end;
   match !regressions with
@@ -561,9 +659,9 @@ let chaos_smoke seed =
     (String.concat ""
        (List.map (fun (s, n) -> Printf.sprintf " %s=%d" s n) injected));
   Printf.printf "cache recovery: %d quarantined, %d write retries, %d write \
-                 failures\n"
+                 failures, %d tmp cleaned\n"
     recovery.corrupt_quarantined recovery.write_retries
-    recovery.write_failures;
+    recovery.write_failures recovery.tmp_cleaned;
   Format.printf "supervisor: %a@." Robust.Counters.pp counters;
   Format.printf "clean run:  %a" Experiments.Driver.pp_summary clean_sum;
   Format.printf "chaos run:  %a" Experiments.Driver.pp_summary chaos_sum;
@@ -589,6 +687,110 @@ let chaos_smoke seed =
     0
   | fs ->
     Printf.printf "chaos-smoke FAILED: %s\n" (String.concat "; " fs);
+    1
+
+(* ---- obs-smoke: the observability gate ----
+
+   Runs the quick experiment suite twice against an isolated on-disk
+   store: once with tracing off, once with span recording on and the
+   trace exported to a file.  Passes only if (1) the traced run's
+   tables are byte-identical to the untraced run's — instrumentation
+   must never leak into results; (2) the emitted file parses as JSON
+   and its traceEvents cover all four pipeline stages; and (3) a
+   disabled Obs.span really is a no-op branch (a generous absolute
+   bound on a tight loop of disabled spans, so a pessimised fast path
+   fails loudly without making the gate timing-flaky). *)
+
+let obs_smoke () =
+  Printf.printf "==== obs-smoke ====\n%!";
+  let cache_dir = Printf.sprintf "_obs_cache_%d" (Unix.getpid ()) in
+  let trace_path = Printf.sprintf "_obs_trace_%d.json" (Unix.getpid ()) in
+  Cache.Store.set_dir cache_dir;
+  Cache.Store.set_enabled true;
+  Cache.Store.clear ();
+  let reset_memory () =
+    Experiments.Bench_run.reset ();
+    Experiments.Orderings.reset ();
+    Experiments.Traces.reset ()
+  in
+  let render () =
+    let buf = Buffer.create (1 lsl 16) in
+    let bppf = Format.formatter_of_buffer buf in
+    let s = Experiments.Driver.run_all ~quick:true bppf in
+    Format.pp_print_flush bppf ();
+    (Buffer.contents buf, s)
+  in
+  reset_memory ();
+  Obs.disable ();
+  let plain_out, plain_sum = render () in
+  reset_memory ();
+  Obs.reset_events ();
+  Obs.enable ();
+  let traced_out, traced_sum = render () in
+  Obs.disable ();
+  Obs.write_trace trace_path;
+  let nevents = List.length (Obs.events ()) in
+  (* the emitted file must parse, and its events must cover the four
+     pipeline stages *)
+  let trace_names =
+    let ic = open_in_bin trace_path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Json.member "traceEvents" (Json.parse s) with
+    | Some (Json.Arr evs) ->
+      List.filter_map
+        (fun e ->
+          match Json.member "name" e with
+          | Some (Json.Str n) -> Some n
+          | _ -> None)
+        evs
+    | _ -> []
+  in
+  (* disabled-span overhead: 10M no-op spans must be branch-cheap *)
+  let niter = 10_000_000 in
+  let acc = ref 0 in
+  let t_disabled =
+    wall (fun () ->
+        for i = 1 to niter do
+          acc := Obs.span ~name:"noop" (fun () -> !acc + i)
+        done)
+  in
+  Printf.printf "trace: %d events, %d distinct names -> %s\n" nevents
+    (List.length (List.sort_uniq String.compare trace_names))
+    trace_path;
+  Printf.printf "disabled span overhead: %.1f ns/span\n"
+    (t_disabled /. float_of_int niter *. 1e9);
+  Format.printf "untraced run: %a" Experiments.Driver.pp_summary plain_sum;
+  Format.printf "traced run:   %a" Experiments.Driver.pp_summary traced_sum;
+  (* tear down the isolated store and the trace file *)
+  Cache.Store.clear ();
+  (try Sys.rmdir cache_dir with Sys_error _ -> ());
+  (try Sys.remove trace_path with Sys_error _ -> ());
+  let failures = ref [] in
+  let check cond msg = if not cond then failures := msg :: !failures in
+  check
+    (String.equal traced_out plain_out)
+    "traced run tables differ from untraced run";
+  check (plain_sum.failed = 0) "untraced run had permanent failures";
+  check (traced_sum.failed = 0) "traced run had permanent failures";
+  check (nevents > 0) "no spans were recorded";
+  List.iter
+    (fun stage ->
+      check
+        (List.mem stage trace_names)
+        (Printf.sprintf "trace JSON has no span for %s" stage))
+    stage_span_names;
+  check
+    (List.mem "experiment" trace_names)
+    "trace JSON has no experiment spans";
+  check (t_disabled < 2.0) "disabled spans cost far more than a branch";
+  match List.rev !failures with
+  | [] ->
+    Printf.printf
+      "obs-smoke OK: byte-identical tables, %d spans exported\n" nevents;
+    0
+  | fs ->
+    Printf.printf "obs-smoke FAILED: %s\n" (String.concat "; " fs);
     1
 
 (* One Bechamel test per experiment driver.  The first full run above
@@ -697,6 +899,12 @@ let rec parse_flags acc = function
   | "--no-cache" :: rest ->
     Cache.Store.set_enabled false;
     parse_flags acc rest
+  | "--trace" :: file :: rest ->
+    Obs.set_trace_file (Some file);
+    parse_flags acc rest
+  | [ "--trace" ] ->
+    Printf.eprintf "--trace needs a file argument\n";
+    exit 1
   | x :: rest -> parse_flags (x :: acc) rest
 
 let () =
@@ -724,6 +932,7 @@ let () =
   | [ "compare"; old_path; new_path ] ->
     exit (compare_benches old_path new_path)
   | [ "perf-smoke" ] -> exit (perf_smoke (Par.Pool.effective_jobs ()))
+  | [ "obs-smoke" ] -> exit (obs_smoke ())
   | [ "chaos-smoke" ] -> exit (chaos_smoke 1933)
   | [ "chaos-smoke"; seed ] -> (
     match int_of_string_opt seed with

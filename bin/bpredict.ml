@@ -97,6 +97,19 @@ let apply_chaos = function
   | Some seed -> Robust.Inject.set_seed (Some seed)
   | None -> ()
 
+let trace_arg =
+  let doc =
+    "Record spans (pipeline stages, pool jobs, supervised experiments) \
+     and write them to $(docv) as Chrome trace_event JSON at exit — \
+     loadable in chrome://tracing or Perfetto.  Equivalent to setting \
+     $(b,BALLARUS_TRACE).  Tracing never changes the tables."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let apply_trace = function
+  | Some file -> Obs.set_trace_file (Some file)
+  | None -> ()
+
 (* ---- compile ---- *)
 
 let compile_cmd =
@@ -293,11 +306,12 @@ let experiment_cmd =
     Arg.(value & flag & info [ "quick" ]
            ~doc:"Cap the subset experiment at 20,000 trials.")
   in
-  let run id quick jobs no_cache timeout chaos =
+  let run id quick jobs no_cache timeout chaos trace =
     handle_errors (fun () ->
         apply_jobs jobs;
         apply_no_cache no_cache;
         apply_chaos chaos;
+        apply_trace trace;
         if String.equal id "all" then begin
           let summary =
             Experiments.Driver.run_all ~quick ?timeout Format.std_formatter
@@ -329,7 +343,47 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures")
     Term.(const run $ id_arg $ quick_arg $ jobs_arg $ no_cache_arg
-          $ timeout_arg $ chaos_arg)
+          $ timeout_arg $ chaos_arg $ trace_arg)
+
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let id_arg =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID"
+           ~doc:"Experiment id to run under instrumentation, or 'all'.")
+  in
+  let full_arg =
+    Arg.(value & flag & info [ "full" ]
+           ~doc:"Run the full (uncapped) experiments instead of the quick \
+                 variants.")
+  in
+  let run id full jobs no_cache trace =
+    handle_errors (fun () ->
+        apply_jobs jobs;
+        apply_no_cache no_cache;
+        apply_trace trace;
+        (* span histograms only fill while recording is on *)
+        Obs.enable ();
+        let quick = not full in
+        let null = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+        (if String.equal id "all" then
+           ignore (Experiments.Driver.run_all ~quick null)
+         else
+           match Experiments.Driver.find id with
+           | Some e ->
+             ignore
+               (Experiments.Driver.run_list ~quick ~warm:false [ e ] null)
+           | None ->
+             Printf.eprintf "error: unknown experiment %s\n" id;
+             exit 1);
+        Obs.Metrics.dump Format.std_formatter)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run experiments under instrumentation and dump the metrics \
+             registry (counters, gauges, span-duration histograms); tables \
+             are discarded")
+    Term.(const run $ id_arg $ full_arg $ jobs_arg $ no_cache_arg $ trace_arg)
 
 (* ---- list ---- *)
 
@@ -354,6 +408,6 @@ let main_cmd =
   let doc = "program-based branch prediction (Ball & Larus, PLDI 1993)" in
   Cmd.group (Cmd.info "bpredict" ~version:"1.0.0" ~doc)
     [ compile_cmd; cfg_cmd; predict_cmd; profile_cmd; trace_cmd; layout_cmd;
-      experiment_cmd; list_cmd ]
+      experiment_cmd; stats_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -17,4 +17,7 @@ dune build @perf-smoke
 echo "== tier 2: chaos smoke (@chaos-smoke)"
 dune build @chaos-smoke
 
+echo "== tier 2: obs smoke (@obs-smoke)"
+dune build @obs-smoke
+
 echo "CI OK"

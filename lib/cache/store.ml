@@ -18,38 +18,44 @@ let dir_ref =
 let dir () = !dir_ref
 let set_dir d = dir_ref := d
 
-(* ---- recovery counters ----
+(* ---- counters ----
 
-   The store's own account of the faults it absorbed: corrupt entries
-   quarantined, write attempts retried, writes abandoned.  Bench JSON
-   (schema 3) and the chaos smoke gate read these. *)
+   All store accounting lives in the process-wide metrics registry
+   (Obs.Metrics) under [cache.*]: traffic (hit / miss / corrupt /
+   write) and the recovery counters that bench JSON and the chaos
+   smoke gate read.  [recovery]/[reset_recovery] keep their historical
+   narrow interface on top. *)
+
+let hits = Obs.Metrics.counter "cache.hit"
+let misses = Obs.Metrics.counter "cache.miss"
+let corrupts = Obs.Metrics.counter "cache.corrupt"
+let writes = Obs.Metrics.counter "cache.write"
+let corrupt_quarantined = Obs.Metrics.counter "cache.corrupt_quarantined"
+let write_retries = Obs.Metrics.counter "cache.write_retries"
+let write_failures = Obs.Metrics.counter "cache.write_failures"
+let tmp_cleaned = Obs.Metrics.counter "cache.tmp_cleaned"
 
 type recovery = {
   corrupt_quarantined : int;
   write_retries : int;
   write_failures : int;
+  tmp_cleaned : int;
 }
 
-let recovery_mutex = Mutex.create ()
-let corrupt_quarantined = ref 0
-let write_retries = ref 0
-let write_failures = ref 0
-
 let recovery () =
-  Mutex.protect recovery_mutex (fun () ->
-      {
-        corrupt_quarantined = !corrupt_quarantined;
-        write_retries = !write_retries;
-        write_failures = !write_failures;
-      })
+  {
+    corrupt_quarantined = Obs.Metrics.value corrupt_quarantined;
+    write_retries = Obs.Metrics.value write_retries;
+    write_failures = Obs.Metrics.value write_failures;
+    tmp_cleaned = Obs.Metrics.value tmp_cleaned;
+  }
 
 let reset_recovery () =
-  Mutex.protect recovery_mutex (fun () ->
-      corrupt_quarantined := 0;
-      write_retries := 0;
-      write_failures := 0)
+  List.iter
+    (fun c -> Obs.Metrics.set c 0)
+    [ corrupt_quarantined; write_retries; write_failures; tmp_cleaned ]
 
-let bump cell = Mutex.protect recovery_mutex (fun () -> incr cell)
+let bump = Obs.Metrics.incr ?by:None
 
 let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
 
@@ -100,12 +106,12 @@ let transient_write = function
   | _ -> false
 
 let write_entry path payload =
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+      (Domain.self () :> int)
+  in
   let attempt () =
     ensure_dir (dir ());
-    let tmp =
-      Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
-        (Domain.self () :> int)
-    in
     let oc = open_out_bin tmp in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
@@ -118,7 +124,8 @@ let write_entry path payload =
     Robust.Inject.fail_write ();
     (* atomic publish: concurrent writers of the same key race benignly,
        last rename wins and every version is valid *)
-    Sys.rename tmp path
+    Sys.rename tmp path;
+    bump writes
   in
   (* A failed write only costs warmth, never correctness — so retry it
      a few times with backoff and give up quietly.  The retry seed is
@@ -127,7 +134,14 @@ let write_entry path payload =
     Robust.Backoff.retry ~retry_on:transient_write
       ~on_retry:(fun ~attempt:_ ~delay_s:_ _ -> bump write_retries)
       ~seed:0 ~label:("cache-write:" ^ path) attempt
-  with e when transient_write e -> bump write_failures
+  with e when transient_write e ->
+    bump write_failures;
+    (* the rename never ran, so the orphaned tmp must not accumulate in
+       the cache directory for the life of the store *)
+    if Sys.file_exists tmp then begin
+      (try Sys.remove tmp with Sys_error _ -> ());
+      bump tmp_cleaned
+    end
 
 let memo ~version ~key compute =
   if not !enabled_flag then compute ()
@@ -136,9 +150,14 @@ let memo ~version ~key compute =
     ignore (Robust.Inject.corrupt_entry path : bool);
     let cached =
       match read_entry path with
-      | `Hit v -> Some v
-      | `Miss -> None
+      | `Hit v ->
+        bump hits;
+        Some v
+      | `Miss ->
+        bump misses;
+        None
       | `Corrupt ->
+        bump corrupts;
         quarantine path;
         None
     in

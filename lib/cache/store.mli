@@ -56,9 +56,14 @@ type recovery = {
       (** damaged entries detected, deleted and recomputed *)
   write_retries : int;  (** failed write attempts that were retried *)
   write_failures : int;  (** writes abandoned after exhausting retries *)
+  tmp_cleaned : int;
+      (** orphaned [.tmp] files deleted after a permanent write failure *)
 }
 
 val recovery : unit -> recovery
-(** The store's recovery counters since the last {!reset_recovery}. *)
+(** The store's recovery counters since the last {!reset_recovery}.
+    Stored in {!Obs.Metrics} under [cache.*], together with the
+    traffic counters [cache.hit] / [cache.miss] / [cache.corrupt] /
+    [cache.write]. *)
 
 val reset_recovery : unit -> unit

@@ -34,11 +34,15 @@ let load wl =
        inside it, exercising pool survival and supervisor retries *)
     Robust.Inject.delay ~label:("load:" ^ name);
     Robust.Inject.raise_in_task ~label:("load:" ^ name);
-    let prog = Workloads.Workload.compile wl in
+    let prog =
+      Obs.span ~name:"compile" ~attrs:[ ("workload", name) ] (fun () ->
+          Workloads.Workload.compile wl)
+    in
     let decoded = Sim.Decode.of_program prog in
     let analyses = Cfg.Analysis.of_program prog in
     let profile =
-      profile_for ~decoded prog (Workloads.Workload.primary_dataset wl)
+      Obs.span ~name:"profile" ~attrs:[ ("workload", name) ] (fun () ->
+          profile_for ~decoded prog (Workloads.Workload.primary_dataset wl))
     in
     let db =
       Predict.Database.make prog analyses ~taken:profile.taken
@@ -49,7 +53,8 @@ let load wl =
     t
 
 let load_all () =
-  Par.Pool.parallel_map_list (Par.Pool.get ()) load Workloads.Registry.all
+  Obs.span ~name:"stage.load_all" (fun () ->
+      Par.Pool.parallel_map_list (Par.Pool.get ()) load Workloads.Registry.all)
 
 let load_named names =
   Par.Pool.parallel_map_list (Par.Pool.get ())

@@ -79,14 +79,15 @@ type summary = {
    discards its partial output, so a recovered experiment emits
    exactly the bytes a clean run would. *)
 let run_one ?timeout ~quick e =
-  Robust.Supervise.run ?timeout ~label:e.id (fun () ->
-      let buf = Buffer.create 4096 in
-      let bppf = Format.formatter_of_buffer buf in
-      (match e.quick_run with
-      | Some quick_run when quick -> quick_run bppf
-      | _ -> e.run bppf);
-      Format.pp_print_flush bppf ();
-      Buffer.contents buf)
+  Obs.span ~name:"experiment" ~attrs:[ ("id", e.id) ] (fun () ->
+      Robust.Supervise.run ?timeout ~label:e.id (fun () ->
+          let buf = Buffer.create 4096 in
+          let bppf = Format.formatter_of_buffer buf in
+          (match e.quick_run with
+          | Some quick_run when quick -> quick_run bppf
+          | _ -> e.run bppf);
+          Format.pp_print_flush bppf ();
+          Buffer.contents buf))
 
 let run_list ?(quick = false) ?timeout ?(warm = true) exps ppf =
   (* A permanent prewarm failure only costs parallel warmth — every

@@ -8,13 +8,18 @@ let miss_matrix_cached () =
   match Mutex.protect matrix_cache_mutex (fun () -> !matrix_cache) with
   | Some v -> v
   | None ->
-    let rs =
-      Par.Pool.parallel_map_list (Par.Pool.get ()) Bench_run.load
-        (Workloads.Registry.without [ "matrix300" ])
+    let v =
+      Obs.span ~name:"stage.miss_matrix" (fun () ->
+          let rs =
+            Par.Pool.parallel_map_list (Par.Pool.get ()) Bench_run.load
+              (Workloads.Registry.without [ "matrix300" ])
+          in
+          let dbs =
+            Array.of_list (List.map (fun (r : Bench_run.t) -> r.db) rs)
+          in
+          let m = Predict.Ordering.miss_matrix dbs in
+          (m, rs))
     in
-    let dbs = Array.of_list (List.map (fun (r : Bench_run.t) -> r.db) rs) in
-    let m = Predict.Ordering.miss_matrix dbs in
-    let v = (m, rs) in
     Mutex.protect matrix_cache_mutex (fun () -> matrix_cache := Some v);
     v
 
@@ -56,8 +61,9 @@ let subset_version = "subset/1"
 let subset_result ?max_trials () =
   let m, rs = miss_matrix_cached () in
   let k = (List.length rs + 1) / 2 in
-  Cache.Store.memo ~version:subset_version ~key:(m, k, max_trials) (fun () ->
-      Predict.Subset.run ~k ?max_trials m)
+  Obs.span ~name:"stage.subset" (fun () ->
+      Cache.Store.memo ~version:subset_version ~key:(m, k, max_trials)
+        (fun () -> Predict.Subset.run ~k ?max_trials m))
 
 let graph2_3_table4 ?max_trials ppf =
   let _, rs = miss_matrix_cached () in

@@ -44,10 +44,11 @@ let distributions name =
     d
 
 let warm () =
-  ignore
-    (Par.Pool.parallel_map_list (Par.Pool.get ())
-       (fun (wl : Workloads.Workload.t) -> distributions wl.name)
-       (Workloads.Registry.traced ()))
+  Obs.span ~name:"stage.traces" (fun () ->
+      ignore
+        (Par.Pool.parallel_map_list (Par.Pool.get ())
+           (fun (wl : Workloads.Workload.t) -> distributions wl.name)
+           (Workloads.Registry.traced ())))
 
 let reset () =
   Mutex.protect trace_cache_mutex (fun () -> Hashtbl.reset trace_cache)

@@ -1,0 +1,131 @@
+(** Structured tracing and metrics.
+
+    Two facilities behind one module:
+
+    {b Spans} — [span ~name ~attrs f] times the execution of [f] and
+    records a begin/end event into a per-domain buffer.  Recording is
+    lock-free on the hot path: each domain appends to its own buffer
+    (registered once, under a mutex, the first time the domain records
+    anything) and the buffers are only walked at export time.  When
+    tracing is disabled — the default — [span] costs a single branch
+    on an atomic flag and calls [f] directly; nothing is allocated.
+
+    Recorded spans export as Chrome [trace_event] JSON ([ph:"X"]
+    complete events, microsecond timestamps, the domain id as [tid]),
+    loadable in [chrome://tracing] or Perfetto.  Arm export with
+    [--trace FILE] on the CLIs or [BALLARUS_TRACE=FILE] in the
+    environment; the file is written at process exit.
+
+    {b Metrics} — a process-wide registry of named counters, gauges
+    and log-scale histograms ({!Metrics}).  Metrics are always on
+    (atomic increments; they replace the ad-hoc robustness counters),
+    independent of the span flag — except that every recorded span
+    also feeds the histogram [span.<name>], which is how the bench
+    JSON gets per-stage duration percentiles.
+
+    Timestamps come from [Unix.gettimeofday] — monotonic-ish: good
+    enough to order and measure spans, not hardened against clock
+    steps. *)
+
+(** {1 Spans} *)
+
+val enabled : unit -> bool
+(** Whether spans are being recorded. *)
+
+val enable : unit -> unit
+(** Start recording spans (and their [span.*] histograms). *)
+
+val disable : unit -> unit
+(** Stop recording.  Already-recorded events are kept. *)
+
+val span : name:string -> ?attrs:(string * string) list -> (unit -> 'a) -> 'a
+(** [span ~name ~attrs f] runs [f], recording one complete event with
+    begin time, duration, the calling domain's id, and [attrs].  The
+    result (or exception, with its backtrace intact) passes through
+    unchanged.  When disabled this is exactly [f ()] after one flag
+    check. *)
+
+type event = {
+  name : string;
+  attrs : (string * string) list;
+  ts_us : float;  (** begin timestamp, microseconds *)
+  dur_us : float;  (** duration, microseconds *)
+  tid : int;  (** id of the domain that ran the span *)
+}
+
+val events : unit -> event list
+(** Every event recorded so far, across all domains, in begin-time
+    order. *)
+
+val reset_events : unit -> unit
+(** Drop all recorded events (the [span.*] histograms are separate;
+    see {!Metrics.reset}). *)
+
+val trace_json : unit -> string
+(** The recorded events as a Chrome [trace_event] JSON document. *)
+
+val write_trace : string -> unit
+(** Write {!trace_json} to a file. *)
+
+val set_trace_file : string option -> unit
+(** [set_trace_file (Some path)] enables recording and arranges for
+    the trace to be written to [path] at process exit ([--trace]).
+    [None] cancels the exit-time write (recording stays as it is).
+    [BALLARUS_TRACE=path] in the environment does the same at program
+    start. *)
+
+val trace_file : unit -> string option
+(** The exit-time trace destination currently armed, if any. *)
+
+(** {1 Metrics} *)
+
+module Metrics : sig
+  type counter
+  type gauge
+  type histogram
+
+  type hstats = {
+    count : int;
+    sum : float;
+    p50 : float;  (** bucket upper-bound estimate of the median *)
+    p95 : float;  (** bucket upper-bound estimate of the 95th pct *)
+    max : float;  (** exact maximum observed *)
+  }
+
+  val counter : string -> counter
+  (** The counter registered under this name, created at zero on first
+      use.  One instance per name, shared process-wide. *)
+
+  val incr : ?by:int -> counter -> unit
+  val value : counter -> int
+  val set : counter -> int -> unit
+
+  val gauge : string -> gauge
+  val set_gauge : gauge -> float -> unit
+  val gauge_value : gauge -> float
+
+  val histogram : string -> histogram
+  (** Log-scale histogram: power-of-two buckets, so values spanning
+      nanoseconds to minutes fit in a fixed 66-slot array.  Quantiles
+      are bucket upper bounds — at most 2x off, plenty for p50/p95
+      trend lines. *)
+
+  val observe : histogram -> float -> unit
+  val stats : histogram -> hstats
+
+  val counters : unit -> (string * int) list
+  (** All registered counters, sorted by name. *)
+
+  val gauges : unit -> (string * float) list
+  val histograms : unit -> (string * hstats) list
+
+  val find_histogram : string -> hstats option
+  (** Stats of the named histogram, [None] if never registered. *)
+
+  val reset : unit -> unit
+  (** Zero every registered counter, gauge and histogram. *)
+
+  val dump : Format.formatter -> unit
+  (** Human-readable dump of the whole registry (the [bpredict stats]
+      output). *)
+end

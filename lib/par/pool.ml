@@ -45,6 +45,10 @@ type t = {
 
 let jobs t = t.size
 
+let has_pending_job t =
+  Mutex.protect t.mutex (fun () ->
+      match t.job with Some _ -> true | None -> false)
+
 (* Claim and run indices until the job is drained.  Exceptions are
    recorded (first wins, with its backtrace) but never abort the join:
    [finished] is incremented regardless — also for indices skipped
@@ -120,10 +124,18 @@ let raise_failure { index; exn; backtrace } =
     (Task_failed { index; exn; backtrace })
     backtrace
 
+(* Every fork-join job is counted in the metrics registry (both the
+   sequential fast path and the pool path), so the bench JSON can
+   report how much work went through the pool. *)
+let jobs_counter = Obs.Metrics.counter "pool.jobs"
+let tasks_counter = Obs.Metrics.counter "pool.tasks"
+
 (* Sequential execution with the same failure contract as the pool:
    the first exception stops the loop (inherently fail-fast) and is
    re-raised as [Task_failed] carrying the task index. *)
 let run_seq n body =
+  Obs.Metrics.incr jobs_counter;
+  Obs.Metrics.incr ~by:n tasks_counter;
   let i = ref 0 in
   try
     while !i < n do
@@ -140,30 +152,40 @@ let run t ?(fail_fast = false) n body =
       (* sequential fast path: no handoff, ascending order *)
       run_seq n body
     else begin
-      let j =
-        {
-          body;
-          total = n;
-          fail_fast;
-          next = Atomic.make 0;
-          finished = Atomic.make 0;
-          cancelled = Atomic.make false;
-          failure = None;
-        }
-      in
-      Mutex.lock t.mutex;
-      t.job <- Some j;
-      t.generation <- t.generation + 1;
-      Condition.broadcast t.work;
-      Mutex.unlock t.mutex;
-      execute t j;
-      Mutex.lock t.mutex;
-      while Atomic.get j.finished < n do
-        Condition.wait t.idle t.mutex
-      done;
-      let fail = j.failure in
-      Mutex.unlock t.mutex;
-      match fail with Some f -> raise_failure f | None -> ()
+      Obs.Metrics.incr jobs_counter;
+      Obs.Metrics.incr ~by:n tasks_counter;
+      Obs.span ~name:"pool.job" ~attrs:[ ("tasks", string_of_int n) ]
+        (fun () ->
+          let j =
+            {
+              body;
+              total = n;
+              fail_fast;
+              next = Atomic.make 0;
+              finished = Atomic.make 0;
+              cancelled = Atomic.make false;
+              failure = None;
+            }
+          in
+          Mutex.lock t.mutex;
+          t.job <- Some j;
+          t.generation <- t.generation + 1;
+          Condition.broadcast t.work;
+          Mutex.unlock t.mutex;
+          execute t j;
+          Mutex.lock t.mutex;
+          while Atomic.get j.finished < n do
+            Condition.wait t.idle t.mutex
+          done;
+          let fail = j.failure in
+          (* Drop the drained job: its [body] closure captures whatever
+             the caller fed it (arrays, workload state), which must not
+             stay live until the next [run].  A stale worker waking up
+             later sees a changed generation with [job = None] and goes
+             back to sleep. *)
+          t.job <- None;
+          Mutex.unlock t.mutex;
+          match fail with Some f -> raise_failure f | None -> ())
     end
   end
 

@@ -34,6 +34,12 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** Parallel width of the pool (worker domains + the caller). *)
 
+val has_pending_job : t -> bool
+(** Whether the pool currently holds a job reference.  Between runs
+    this must be [false]: a drained job is dropped at join time so its
+    [body] closure (and everything it captures) does not stay live
+    until the next [run].  Exposed for the regression test. *)
+
 val shutdown : t -> unit
 (** Terminate and join the worker domains.  The pool must be idle.
     Idempotent. *)

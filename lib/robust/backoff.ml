@@ -16,19 +16,24 @@ let default_policy =
   }
 
 (* The delay before retry [attempt] (1-based): exponential growth
-   capped at [max_delay_s], then scaled by a seeded jitter factor in
-   [1 - jitter/2, 1 + jitter/2).  Deterministic in (policy, seed,
-   attempt). *)
+   capped at [max_delay_s], scaled by a seeded jitter factor in
+   [1 - jitter/2, 1 + jitter/2), then clamped to [max_delay_s] again —
+   the cap is a hard bound on the actual sleep, so jitter may shorten
+   a capped delay but never stretch it past the cap.  Deterministic in
+   (policy, seed, attempt). *)
 let delay policy ~seed ~attempt =
   let a = max 1 attempt in
   let raw = policy.base_delay_s *. (policy.multiplier ** float_of_int (a - 1)) in
   let capped = Float.min policy.max_delay_s raw in
   let u = Rng.float01 ~seed ~stream:17 ~index:a in
-  capped *. (1.0 +. (policy.jitter *. (u -. 0.5)))
+  let jittered = capped *. (1.0 +. (policy.jitter *. (u -. 0.5))) in
+  Float.min policy.max_delay_s jittered
 
 let delays policy ~seed =
   List.init (max 0 (policy.max_attempts - 1)) (fun i ->
       delay policy ~seed ~attempt:(i + 1))
+
+let delay_hist = Obs.Metrics.histogram "backoff.delay_s"
 
 let retry ?(policy = default_policy) ?(sleep = Unix.sleepf) ?on_retry
     ?(retry_on = Fault.is_transient) ~seed ~label f =
@@ -42,6 +47,7 @@ let retry ?(policy = default_policy) ?(sleep = Unix.sleepf) ?on_retry
     | exception e when attempt < policy.max_attempts && retry_on e ->
       Counters.incr_retries ();
       let d = delay policy ~seed ~attempt in
+      Obs.Metrics.observe delay_hist d;
       (match on_retry with Some k -> k ~attempt ~delay_s:d e | None -> ());
       sleep d;
       go (attempt + 1)

@@ -9,7 +9,8 @@ type policy = {
   max_attempts : int;  (** total attempts, including the first *)
   base_delay_s : float;  (** delay before the first retry *)
   multiplier : float;  (** exponential growth per retry *)
-  max_delay_s : float;  (** cap on the un-jittered delay *)
+  max_delay_s : float;
+      (** hard cap on the actual delay, applied after jitter *)
   jitter : float;  (** width of the jitter band, e.g. 0.5 = ±25% *)
 }
 
@@ -17,7 +18,8 @@ val default_policy : policy
 (** 3 attempts, 2ms base, ×4 growth, 250ms cap, ±25% jitter. *)
 
 val delay : policy -> seed:int -> attempt:int -> float
-(** The (jittered) delay in seconds before retry [attempt] (1-based). *)
+(** The (jittered) delay in seconds before retry [attempt] (1-based).
+    Never exceeds [max_delay_s]: the cap is re-applied after jitter. *)
 
 val delays : policy -> seed:int -> float list
 (** The full retry-delay schedule, [max_attempts - 1] entries. *)

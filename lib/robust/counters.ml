@@ -1,3 +1,8 @@
+(* The supervision counters are plain named entries in the process-wide
+   metrics registry (Obs.Metrics), so `bpredict stats` and the bench
+   JSON read them through the same interface as every other metric.
+   This module keeps the original narrow API on top. *)
+
 type snapshot = {
   retries : int;
   timeouts : int;
@@ -5,33 +10,26 @@ type snapshot = {
   task_failures : int;
 }
 
-let mutex = Mutex.create ()
-let retries = ref 0
-let timeouts = ref 0
-let fuel_exhausted = ref 0
-let task_failures = ref 0
+let retries = Obs.Metrics.counter "robust.retries"
+let timeouts = Obs.Metrics.counter "robust.timeouts"
+let fuel_exhausted = Obs.Metrics.counter "robust.fuel_exhausted"
+let task_failures = Obs.Metrics.counter "robust.task_failures"
+let all = [ retries; timeouts; fuel_exhausted; task_failures ]
 
-let bump cell = Mutex.protect mutex (fun () -> incr cell)
-let incr_retries () = bump retries
-let incr_timeouts () = bump timeouts
-let incr_fuel_exhausted () = bump fuel_exhausted
-let incr_task_failures () = bump task_failures
+let incr_retries () = Obs.Metrics.incr retries
+let incr_timeouts () = Obs.Metrics.incr timeouts
+let incr_fuel_exhausted () = Obs.Metrics.incr fuel_exhausted
+let incr_task_failures () = Obs.Metrics.incr task_failures
 
 let snapshot () =
-  Mutex.protect mutex (fun () ->
-      {
-        retries = !retries;
-        timeouts = !timeouts;
-        fuel_exhausted = !fuel_exhausted;
-        task_failures = !task_failures;
-      })
+  {
+    retries = Obs.Metrics.value retries;
+    timeouts = Obs.Metrics.value timeouts;
+    fuel_exhausted = Obs.Metrics.value fuel_exhausted;
+    task_failures = Obs.Metrics.value task_failures;
+  }
 
-let reset () =
-  Mutex.protect mutex (fun () ->
-      retries := 0;
-      timeouts := 0;
-      fuel_exhausted := 0;
-      task_failures := 0)
+let reset () = List.iter (fun c -> Obs.Metrics.set c 0) all
 
 let pp ppf s =
   Format.fprintf ppf

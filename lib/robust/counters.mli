@@ -3,9 +3,11 @@
     The supervision layer counts every recovery action it takes —
     retries performed, timeouts hit, fuel exhaustions, tasks that
     failed permanently — so a run can report how degraded it was and
-    the bench JSON can track the numbers over time.  All counters are
-    mutex-guarded and safe to bump from any domain.  (Cache-recovery
-    counters live with the store itself: {!Cache.Store.recovery}.) *)
+    the bench JSON can track the numbers over time.  The counters are
+    registered in {!Obs.Metrics} under [robust.*] (atomic, safe to
+    bump from any domain); this module is the stable narrow API on
+    top.  (Cache-recovery counters live with the store itself:
+    {!Cache.Store.recovery}.) *)
 
 type snapshot = {
   retries : int;         (** backoff retries performed *)

@@ -17,14 +17,21 @@ let with_deadline ~label ~seconds f =
   let slot = Atomic.make None in
   let _worker =
     Domain.spawn (fun () ->
-        let r = match f () with v -> Ok v | exception e -> Error e in
+        let r =
+          match f () with
+          | v -> Ok v
+          | exception e ->
+            (* capture the backtrace here, on the domain where the body
+               actually failed; the poller re-raises with it intact *)
+            Error (e, Printexc.get_raw_backtrace ())
+        in
         Atomic.set slot (Some r))
   in
   let deadline = Unix.gettimeofday () +. seconds in
   let rec poll () =
     match Atomic.get slot with
     | Some (Ok v) -> v
-    | Some (Error e) -> raise e
+    | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
     | None ->
       if Unix.gettimeofday () > deadline then begin
         Counters.incr_timeouts ();
@@ -36,6 +43,7 @@ let with_deadline ~label ~seconds f =
   poll ()
 
 let run ?timeout ?policy ?sleep ?(seed = 0) ~label f =
+  Obs.span ~name:"supervise" ~attrs:[ ("label", label) ] @@ fun () ->
   let attempts = ref 0 in
   let body () =
     incr attempts;

@@ -171,6 +171,35 @@ let test_injected_write_failure_retried () =
       checki "served from disk" 0 !calls;
       Robust.Inject.reset ())
 
+(* Regression for the leaked-tmp bug: when every write attempt failed,
+   the abandoned [.tmp] staging file used to stay behind in the cache
+   directory forever (the rename that would have consumed it never
+   ran).  The permanent-failure handler now deletes it and counts the
+   cleanup. *)
+let test_permanent_write_failure_cleans_tmp () =
+  with_temp_store (fun dir ->
+      Cache.Store.reset_recovery ();
+      Robust.Inject.reset ();
+      (* fail all three attempts of the write backoff loop *)
+      Robust.Inject.force Robust.Inject.Cache_write 3;
+      let v = Cache.Store.memo ~version:"t/1" ~key:4 (fun () -> "lost") in
+      Alcotest.(check string) "value still returned" "lost" v;
+      let rec_ = Cache.Store.recovery () in
+      checki "two retries then surrender" 2 rec_.write_retries;
+      checki "one abandoned write" 1 rec_.write_failures;
+      checki "orphaned tmp cleaned" 1 rec_.tmp_cleaned;
+      checki "no entry landed" 0 (List.length (entry_files dir));
+      let tmp_files =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+      in
+      checki "no tmp file left behind" 0 (List.length tmp_files);
+      (* the key is still computable and cacheable afterwards *)
+      let v = Cache.Store.memo ~version:"t/1" ~key:4 (fun () -> "found") in
+      Alcotest.(check string) "recomputed" "found" v;
+      checki "entry landed once writes heal" 1 (List.length (entry_files dir));
+      Robust.Inject.reset ())
+
 let test_clear_empties_store () =
   with_temp_store (fun dir ->
       let calls = ref 0 in
@@ -222,6 +251,8 @@ let () =
             test_injected_corruption_recovered;
           Alcotest.test_case "injected write failure retried" `Quick
             test_injected_write_failure_retried;
+          Alcotest.test_case "permanent write failure cleans tmp" `Quick
+            test_permanent_write_failure_cleans_tmp;
           Alcotest.test_case "clear empties the store" `Quick
             test_clear_empties_store;
           Alcotest.test_case "profile survives the store" `Quick

@@ -1,0 +1,373 @@
+(* Tests for the observability layer: span recording and nesting,
+   disabled-mode pass-through, the metrics registry (counters, gauges,
+   log-scale histogram buckets and quantiles), and the Chrome
+   trace_event JSON export. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Run [f] with span recording on and a clean event buffer, restoring
+   the previous state afterwards so test order cannot matter. *)
+let with_recording f =
+  let was = Obs.enabled () in
+  Obs.reset_events ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      if not was then Obs.disable ();
+      Obs.reset_events ())
+    f
+
+(* ---- spans ---- *)
+
+let test_span_records () =
+  with_recording (fun () ->
+      let v =
+        Obs.span ~name:"outer" ~attrs:[ ("k", "v") ] (fun () ->
+            Obs.span ~name:"inner" (fun () -> Unix.sleepf 0.002);
+            17)
+      in
+      checki "result passes through" 17 v;
+      match Obs.events () with
+      | [ a; b ] ->
+        (* events sort by begin time: outer starts first *)
+        Alcotest.(check string) "outer first" "outer" a.Obs.name;
+        Alcotest.(check string) "inner second" "inner" b.Obs.name;
+        checkb "attrs kept" true (a.attrs = [ ("k", "v") ]);
+        checkb "nesting: inner begins after outer" true (b.ts_us >= a.ts_us);
+        checkb "nesting: inner ends within outer" true
+          (b.ts_us +. b.dur_us <= a.ts_us +. a.dur_us +. 1.0);
+        checkb "durations positive" true (a.dur_us > 0. && b.dur_us > 0.);
+        checkb "inner not longer than outer" true (b.dur_us <= a.dur_us)
+      | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs))
+
+let test_span_exception_passthrough () =
+  with_recording (fun () ->
+      (match Obs.span ~name:"boom" (fun () -> failwith "bang") with
+      | () -> Alcotest.fail "expected the exception through"
+      | exception Failure m -> Alcotest.(check string) "message" "bang" m);
+      checki "failing span still recorded" 1 (List.length (Obs.events ())))
+
+let test_disabled_is_noop () =
+  let was = Obs.enabled () in
+  Obs.disable ();
+  Obs.reset_events ();
+  let v = Obs.span ~name:"ghost" (fun () -> 3) in
+  checki "result through" 3 v;
+  checki "nothing recorded" 0 (List.length (Obs.events ()));
+  if was then Obs.enable ()
+
+let test_span_feeds_histogram () =
+  with_recording (fun () ->
+      Obs.Metrics.reset ();
+      Obs.span ~name:"timed-stage" (fun () -> Unix.sleepf 0.002);
+      match Obs.Metrics.find_histogram "span.timed-stage" with
+      | Some s ->
+        checki "one observation" 1 s.Obs.Metrics.count;
+        checkb "max in a plausible band" true
+          (s.Obs.Metrics.max >= 0.002 && s.Obs.Metrics.max < 1.0)
+      | None -> Alcotest.fail "span histogram not registered")
+
+(* ---- metrics ---- *)
+
+let test_counter_registry () =
+  let c = Obs.Metrics.counter "test.counter" in
+  Obs.Metrics.set c 0;
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:4 c;
+  checki "incremented" 5 (Obs.Metrics.value c);
+  (* the registry hands back the same instance per name *)
+  checki "same instance by name" 5
+    (Obs.Metrics.value (Obs.Metrics.counter "test.counter"));
+  checkb "listed" true
+    (List.mem ("test.counter", 5) (Obs.Metrics.counters ()));
+  Obs.Metrics.set c 0
+
+let test_gauge () =
+  let g = Obs.Metrics.gauge "test.gauge" in
+  Obs.Metrics.set_gauge g 2.5;
+  checkb "gauge value" true (Obs.Metrics.gauge_value g = 2.5);
+  checkb "listed" true (List.mem ("test.gauge", 2.5) (Obs.Metrics.gauges ()));
+  Obs.Metrics.set_gauge g 0.
+
+let test_histogram_buckets () =
+  let h = Obs.Metrics.histogram "test.hist" in
+  (* 100 observations of 1.0 and 5 of 100.0: p50 must land in 1.0's
+     power-of-two bucket [1, 2), p95 too (100/105 > 0.95), max exact *)
+  for _ = 1 to 100 do
+    Obs.Metrics.observe h 1.0
+  done;
+  for _ = 1 to 5 do
+    Obs.Metrics.observe h 100.0
+  done;
+  let s = Obs.Metrics.stats h in
+  checki "count" 105 s.Obs.Metrics.count;
+  checkb "sum" true (Float.abs (s.sum -. 600.) < 1e-9);
+  checkb "max exact" true (s.max = 100.0);
+  checkb "p50 in the 1.0 bucket" true (s.p50 >= 1.0 && s.p50 <= 2.0);
+  checkb "p95 in the 1.0 bucket" true (s.p95 >= 1.0 && s.p95 <= 2.0);
+  (* skewed the other way: p95 must climb into the 100.0 bucket *)
+  let h2 = Obs.Metrics.histogram "test.hist2" in
+  for _ = 1 to 10 do
+    Obs.Metrics.observe h2 1.0
+  done;
+  for _ = 1 to 90 do
+    Obs.Metrics.observe h2 100.0
+  done;
+  let s2 = Obs.Metrics.stats h2 in
+  checkb "p50 in the 100.0 bucket" true (s2.p50 >= 64.0 && s2.p50 <= 128.0);
+  checkb "p95 in the 100.0 bucket" true (s2.p95 >= 64.0 && s2.p95 <= 128.0);
+  (* quantiles never exceed the observed maximum *)
+  checkb "p95 <= max" true (s2.p95 <= s2.max);
+  (* tiny and zero values stay inside the table *)
+  let h3 = Obs.Metrics.histogram "test.hist3" in
+  Obs.Metrics.observe h3 0.;
+  Obs.Metrics.observe h3 1e-15;
+  Obs.Metrics.observe h3 1e12;
+  checki "extremes counted" 3 (Obs.Metrics.stats h3).Obs.Metrics.count
+
+let test_metrics_reset () =
+  let c = Obs.Metrics.counter "test.reset.c" in
+  let h = Obs.Metrics.histogram "test.reset.h" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.observe h 1.0;
+  Obs.Metrics.reset ();
+  checki "counter zeroed" 0 (Obs.Metrics.value c);
+  checki "histogram zeroed" 0 (Obs.Metrics.stats h).Obs.Metrics.count
+
+let test_dump_renders () =
+  let c = Obs.Metrics.counter "test.dump.c" in
+  Obs.Metrics.incr c;
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Obs.Metrics.dump ppf;
+  Format.pp_print_flush ppf ();
+  checkb "dump mentions the counter" true
+    (contains (Buffer.contents buf) "test.dump.c");
+  Obs.Metrics.set c 0
+
+(* ---- trace JSON export ----
+
+   A minimal JSON parser (objects/arrays/strings/numbers), just enough
+   to prove the exported document is well-formed and carries the
+   expected fields. *)
+
+type json =
+  | Null
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        if !pos >= n then fail "unterminated escape";
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | c -> Buffer.add_char buf c);
+        advance ();
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        fields []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        items []
+      end
+    | Some '"' -> Str (string_lit ())
+    | Some 'n' ->
+      pos := !pos + 4;
+      Null
+    | Some _ -> number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let test_trace_json_valid () =
+  with_recording (fun () ->
+      Obs.span ~name:"alpha" ~attrs:[ ("id", "a\"b") ] (fun () -> ());
+      Obs.span ~name:"beta" (fun () -> ());
+      let doc = parse_json (Obs.trace_json ()) in
+      match member "traceEvents" doc with
+      | Some (Arr evs) ->
+        checki "two events" 2 (List.length evs);
+        List.iter
+          (fun e ->
+            checkb "complete event" true (member "ph" e = Some (Str "X"));
+            checkb "has ts" true
+              (match member "ts" e with Some (Num _) -> true | _ -> false);
+            checkb "has dur" true
+              (match member "dur" e with Some (Num _) -> true | _ -> false);
+            checkb "has tid" true
+              (match member "tid" e with Some (Num _) -> true | _ -> false))
+          evs;
+        let names =
+          List.filter_map
+            (fun e ->
+              match member "name" e with Some (Str s) -> Some s | _ -> None)
+            evs
+        in
+        checkb "both spans present" true
+          (List.mem "alpha" names && List.mem "beta" names);
+        (* the escaped attribute survives the round trip *)
+        let alpha =
+          List.find
+            (fun e -> member "name" e = Some (Str "alpha"))
+            evs
+        in
+        (match member "args" alpha with
+        | Some args -> checkb "attr escaped" true (member "id" args = Some (Str "a\"b"))
+        | None -> Alcotest.fail "missing args")
+      | _ -> Alcotest.fail "missing traceEvents")
+
+let test_write_trace_roundtrip () =
+  with_recording (fun () ->
+      Obs.span ~name:"disk" (fun () -> ());
+      let path =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "ballarus_obs_test_%d.json" (Unix.getpid ()))
+      in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Obs.write_trace path;
+          let ic = open_in_bin path in
+          let s = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          match member "traceEvents" (parse_json s) with
+          | Some (Arr (_ :: _)) -> ()
+          | _ -> Alcotest.fail "written trace unreadable"))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "record and nest" `Quick test_span_records;
+          Alcotest.test_case "exception passthrough" `Quick
+            test_span_exception_passthrough;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_disabled_is_noop;
+          Alcotest.test_case "feeds span histogram" `Quick
+            test_span_feeds_histogram;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter registry" `Quick test_counter_registry;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram buckets and quantiles" `Quick
+            test_histogram_buckets;
+          Alcotest.test_case "reset" `Quick test_metrics_reset;
+          Alcotest.test_case "dump renders" `Quick test_dump_renders;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "trace JSON valid" `Quick test_trace_json_valid;
+          Alcotest.test_case "write_trace roundtrip" `Quick
+            test_write_trace_roundtrip;
+        ] );
+    ]

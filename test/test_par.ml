@@ -223,6 +223,26 @@ let test_min_per_domain_threshold () =
       checkb "above threshold identical" true
         (out = Array.map (fun x -> x * 3) big))
 
+(* Regression for the lingering-job bug: after the join, the pool used
+   to keep its last [job] record (and therefore the job's body closure,
+   and everything that closure captured) alive until the next [run].
+   The job slot must be dropped as soon as the join completes — on both
+   the success and the failure path. *)
+let test_job_dropped_after_join () =
+  with_pool 4 (fun p ->
+      Par.Pool.run p 8 (fun _ -> ());
+      checkb "job slot cleared after success" false
+        (Par.Pool.has_pending_job p);
+      (try Par.Pool.run p 8 (fun _ -> raise Boom)
+       with Par.Pool.Task_failed _ -> ());
+      checkb "job slot cleared after failure" false
+        (Par.Pool.has_pending_job p);
+      (* and repeatedly, across many jobs *)
+      for _ = 1 to 20 do
+        Par.Pool.run p 4 (fun _ -> ());
+        checkb "still cleared" false (Par.Pool.has_pending_job p)
+      done)
+
 let test_default_pool_set_jobs () =
   Par.Pool.set_jobs 3;
   checki "requested width" 3 (Par.Pool.default_jobs ());
@@ -253,6 +273,8 @@ let () =
             test_fewer_tasks_than_jobs;
           Alcotest.test_case "min_per_domain threshold" `Quick
             test_min_per_domain_threshold;
+          Alcotest.test_case "job dropped after join" `Quick
+            test_job_dropped_after_join;
           Alcotest.test_case "default pool" `Quick test_default_pool_set_jobs;
         ] );
     ]

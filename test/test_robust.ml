@@ -47,7 +47,7 @@ let test_backoff_determinism () =
   checkb "same seed, same schedule" true (d1 = d2);
   checkb "different seed, different schedule" true (d1 <> d3);
   List.iter
-    (fun d -> checkb "delay within cap + jitter" true (d > 0. && d <= p.max_delay_s *. 1.5))
+    (fun d -> checkb "delay within the hard cap" true (d > 0. && d <= p.max_delay_s))
     d1;
   (* retry sleeps exactly the seeded schedule, reproducibly *)
   let run_spy () =
@@ -69,6 +69,23 @@ let test_backoff_determinism () =
   checki "all attempts used" p.max_attempts a1;
   checki "slept between attempts" (p.max_attempts - 1) (List.length s1);
   checkb "sleep schedule reproducible" true (a1 = a2 && s1 = s2)
+
+(* Regression for the jitter-after-cap bug: the jitter factor used to
+   be applied to the already-capped delay, so a +jitter draw could
+   stretch the sleep up to 1.5x past [max_delay_s].  The cap is now
+   re-applied after jitter; no (policy, seed, attempt) combination may
+   exceed it. *)
+let prop_backoff_cap =
+  QCheck.Test.make ~name:"delay never exceeds max_delay_s" ~count:1000
+    QCheck.(
+      make
+        Gen.(
+          quad (int_bound 10_000) (int_range 1 12) (float_range 0.0 2.0)
+            (float_range 0.001 0.5)))
+    (fun (seed, attempt, jitter, max_delay_s) ->
+      let p = { Robust.Backoff.default_policy with jitter; max_delay_s } in
+      let d = Robust.Backoff.delay p ~seed ~attempt in
+      d >= 0. && d <= p.max_delay_s)
 
 let test_retry_only_transient () =
   (* default retry_on: hard failures are never retried *)
@@ -141,6 +158,34 @@ let test_timeout () =
   (* a fast body under the same deadline completes normally *)
   let o = Robust.Supervise.run ~timeout:5.0 ~label:"fast" (fun () -> 11) in
   checkb "fast body fine" true (o.value = Some 11)
+
+(* Regression for the discarded-backtrace bug: the deadline poller
+   used to re-raise a worker failure with a bare [raise], which starts
+   a fresh backtrace at the poller — the frames of the code that
+   actually failed were lost.  The worker now captures its raw
+   backtrace and the poller re-raises with it intact, so the fault's
+   backtrace must name this file. *)
+let test_worker_backtrace_preserved () =
+  Printexc.record_backtrace true;
+  (* non-tail recursion so the frames survive into the backtrace *)
+  let rec deep_failing_helper n =
+    if n = 0 then failwith "deep-failure"
+    else 1 + deep_failing_helper (n - 1)
+  in
+  let o =
+    Robust.Supervise.run ~timeout:5.0 ~label:"deep" (fun () ->
+        Printexc.record_backtrace true;
+        ignore (Sys.opaque_identity (deep_failing_helper 5)))
+  in
+  match o.status with
+  | Robust.Supervise.Failed f ->
+    checkb "classified hard" true (f.kind = Robust.Fault.Hard);
+    checkb "message kept" true (contains f.message "deep-failure");
+    (match f.backtrace with
+    | Some bt ->
+      checkb "backtrace names the failing file" true (contains bt "test_robust")
+    | None -> Alcotest.fail "expected a backtrace on the fault")
+  | _ -> Alcotest.fail "expected Failed"
 
 let test_inject_determinism () =
   Robust.Inject.reset ();
@@ -240,11 +285,14 @@ let () =
             test_backoff_determinism;
           Alcotest.test_case "only transient retried" `Quick
             test_retry_only_transient;
+          QCheck_alcotest.to_alcotest prop_backoff_cap;
         ] );
       ( "supervise",
         [
           Alcotest.test_case "outcomes" `Quick test_supervise_outcomes;
           Alcotest.test_case "timeout" `Quick test_timeout;
+          Alcotest.test_case "worker backtrace preserved" `Quick
+            test_worker_backtrace_preserved;
         ] );
       ( "inject",
         [
